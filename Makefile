@@ -1,0 +1,40 @@
+# TraceBack reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test test-short bench examples tables verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure; results land in bench_output.txt.
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+tables:
+	$(GO) run ./cmd/tbbench -table all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/crosslang
+	$(GO) run ./examples/crossmachine
+	$(GO) run ./examples/deadlock
+
+bin:
+	mkdir -p bin
+	$(GO) build -o bin ./cmd/...
+
+verify: build test
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+clean:
+	rm -rf bin snaps test_output.txt bench_output.txt

@@ -1,0 +1,296 @@
+// Package traceback's root benchmark harness regenerates every table
+// and figure of the paper's evaluation (§6). Each benchmark prints
+// the measured rows next to the paper's rows; absolute numbers are VM
+// cycle ratios, and the SHAPE (who wins, by what factor) is the
+// reproduction target. See EXPERIMENTS.md for the recorded outputs.
+//
+//	go test -bench=. -benchmem
+package traceback_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"traceback/internal/core"
+	"traceback/internal/minic"
+	"traceback/internal/recon"
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+	"traceback/internal/workload"
+)
+
+// BenchmarkTable1SPECint regenerates Table 1: per-program Normal vs
+// TraceBack cycles and the geometric-mean ratio.
+func BenchmarkTable1SPECint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, geo, paperGeo, err := workload.RunSpecSuite(1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i > 0 {
+			continue
+		}
+		b.Logf("Table 1 — SPECint2000 (cycles; ratio = TraceBack/Normal)")
+		b.Logf("%-9s %12s %12s %7s %7s", "Test", "Normal", "TraceBack", "Ratio", "Paper")
+		for _, r := range rs {
+			b.Logf("%-9s %12d %12d %7.2f %7.2f", r.Name, r.Normal, r.TraceBack, r.Ratio, r.PaperRatio)
+		}
+		b.Logf("%-9s %12s %12s %7.2f %7.2f", "GeoMean", "", "", geo, paperGeo)
+	}
+}
+
+// BenchmarkTable2SPECweb regenerates Table 2: response time, ops/sec,
+// Kbits/sec for the web server, normal vs instrumented.
+func BenchmarkTable2SPECweb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workload.RunWeb(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i > 0 {
+			continue
+		}
+		b.Logf("Table 2 — SPECweb99 (paper ratio 1.049-1.051)")
+		b.Logf("%-14s %10s %10s %7s", "Metric", "Normal", "TraceBack", "Ratio")
+		b.Logf("%-14s %10.1f %10.1f %7.3f", "Response(ms)", r.ResponseNormal, r.ResponseTB, r.ResponseTB/r.ResponseNormal)
+		b.Logf("%-14s %10.1f %10.1f %7.3f", "ops/sec", r.OpsNormal, r.OpsTB, r.OpsNormal/r.OpsTB)
+		b.Logf("%-14s %10.0f %10.0f %7.3f", "Kbits/sec", r.KbitsNormal, r.KbitsTB, r.KbitsNormal/r.KbitsTB)
+	}
+}
+
+// BenchmarkTable3SPECjbb regenerates Table 3: warehouse throughput on
+// the three systems, 1 and 5 warehouses.
+func BenchmarkTable3SPECjbb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			for _, sys := range workload.JbbSystems {
+				if _, err := workload.RunJbb(sys, 1, 4000); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		b.Logf("Table 3 — SPECjbb (throughput; ratio = Normal/TraceBack)")
+		b.Logf("%-8s %10s %10s %7s %7s", "System", "Normal", "TraceBack", "Ratio", "Paper")
+		for _, sys := range workload.JbbSystems {
+			for _, wh := range []int{1, 5} {
+				r, err := workload.RunJbb(sys, wh, 4000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Logf("%-8s %10.1f %10.1f %7.3f %7.3f",
+					fmt.Sprintf("%s %dW", r.System, r.Warehouses), r.Normal, r.TraceBack, r.Ratio, r.PaperRatio)
+			}
+		}
+	}
+}
+
+// BenchmarkPetShop regenerates the .NET PetShop paragraph (§6):
+// ~1% throughput reduction under instrumentation.
+func BenchmarkPetShop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workload.RunPetShop(6, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i > 0 {
+			continue
+		}
+		b.Logf("PetShop (paper: 1,649 -> 1,633 req/s, ~1%% drop)")
+		b.Logf("req/sec: %.0f -> %.0f (drop %.2f%%)", r.ReqPerSecNormal, r.ReqPerSecTB, r.Drop*100)
+	}
+}
+
+// BenchmarkAblationSpill isolates register scavenging vs forced
+// probe spills (the paper's gzip longest_match analysis, §6).
+func BenchmarkAblationSpill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, _ := workload.SpecByName("gzip")
+		base, err := workload.RunSpec(p, 1.0, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spill, err := workload.RunSpec(p, 1.0, core.Options{ForceSpill: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("gzip probe spills: scavenged %.2f vs forced-spill %.2f (spills: %d probes)",
+				base.Ratio, spill.Ratio, spill.Spills)
+		}
+	}
+}
+
+// BenchmarkAblationCallBreaks measures the cost of the §2.2
+// requirement that DAGs break at call return points.
+func BenchmarkAblationCallBreaks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, _ := workload.SpecByName("perlbmk")
+		base, err := workload.RunSpec(p, 1.0, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		no, err := workload.RunSpec(p, 1.0, core.Options{NoBreakAtCalls: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("perlbmk call-return probes: with %.2f vs without %.2f (without is UNSOUND; cost only)",
+				base.Ratio, no.Ratio)
+		}
+	}
+}
+
+// BenchmarkAblationPathBits sweeps the DAG record's path-bit budget.
+func BenchmarkAblationPathBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, _ := workload.SpecByName("gcc")
+		if i > 0 {
+			if _, err := workload.RunSpec(p, 1.0, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		for _, bits := range []int{10, 6, 4, 2} {
+			r, err := workload.RunSpec(p, 1.0, core.Options{MaxPathBits: bits})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("gcc with %2d path bits: ratio %.2f (growth %.0f%%)", bits, r.Ratio, r.CodeGrowth*100)
+		}
+	}
+}
+
+// BenchmarkAblationSubBuffering measures §3.2's sub-buffering cost.
+func BenchmarkAblationSubBuffering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off, on, err := workload.SubBufferOverhead(1.0, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("sub-buffering: off %d cycles, 4 sub-buffers %d cycles (+%.1f%%)",
+				off, on, (float64(on)/float64(off)-1)*100)
+		}
+	}
+}
+
+// BenchmarkReconstruction measures the offline reconstruction speed
+// over a full buffer (not a paper table; sanity for the tooling).
+func BenchmarkReconstruction(b *testing.B) {
+	src := `int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		if (i % 3 == 0) s = s + i;
+		else s = s - 1;
+	}
+	return s;
+}
+int main() { f(20000); exit(0); }`
+	mod, err := minic.Compile("bench", "bench.mc", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("m", 0)
+	p, rt, err := tbrt.NewProcess(mach, "bench", tbrt.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	if err := vm.RunProcess(p, 1<<31); err != nil {
+		b.Fatal(err)
+	}
+	s := rt.PostMortemSnap()
+	maps := recon.NewMapSet(res.Map)
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		pt, err := recon.Reconstruct(s, maps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range pt.Threads {
+			events += len(t.Events)
+		}
+	}
+	if events == 0 {
+		b.Fatal("no events reconstructed")
+	}
+}
+
+// BenchmarkInstrumentation measures instrumenter throughput.
+func BenchmarkInstrumentation(b *testing.B) {
+	var srcs []string
+	for _, p := range workload.SpecInt {
+		srcs = append(srcs, p.Src)
+	}
+	var mods []*struct {
+		name string
+		src  string
+	}
+	for i, s := range srcs {
+		mods = append(mods, &struct {
+			name string
+			src  string
+		}{workload.SpecInt[i].Name, s})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mods[i%len(mods)]
+		mod, err := minic.Compile(m.name, m.name+".c", m.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Instrument(mod, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Pipeline runs the end-to-end crash->snap->
+// reconstruct pipeline (Figures 2/4).
+func BenchmarkFigure4Pipeline(b *testing.B) {
+	src := `int denom;
+int setup(int mode) { if (mode == 1) { denom = 0; } else { denom = 4; } return 0; }
+int main() { setup(getarg()); exit(12 / denom); }`
+	mod, err := minic.Compile("app", "app.mc", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	maps := recon.NewMapSet(res.Map)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := vm.NewWorld(1)
+		mach := w.NewMachine("m", 0)
+		p, rt, err := tbrt.NewProcess(mach, "app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Load(res.Module)
+		p.StartMain(1)
+		vm.RunProcess(p, 1_000_000)
+		if len(rt.Snaps()) == 0 {
+			b.Fatal("no snap")
+		}
+		pt, err := recon.Reconstruct(rt.Snaps()[0], maps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		recon.Render(&sb, pt, recon.RenderOptions{})
+		if !strings.Contains(sb.String(), "SIGFPE") {
+			b.Fatal("fault missing from render")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// tbdump disassembles module files: function boundaries, source line
+// annotations, probe idioms, and fixup tables. Useful for inspecting
+// what instrumentation did to a binary.
+//
+//	tbdump build/app.tb.tbm
+//	tbdump -func longest_match build/gzip.tb.tbm
+//	tbdump -map build/app.map.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"traceback/internal/module"
+)
+
+func main() {
+	var (
+		fn      = flag.String("func", "", "disassemble only this function")
+		mapDump = flag.Bool("map", false, "treat the input as a mapfile and summarize it")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tbdump [flags] <module.tbm|mapfile.json>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	if *mapDump || strings.HasSuffix(path, ".json") {
+		mf, err := module.LoadMapFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		dumpMap(mf)
+		return
+	}
+
+	m, err := module.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *fn != "" {
+		if err := module.DisasmFunc(os.Stdout, m, *fn); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	module.Disasm(os.Stdout, m)
+}
+
+func dumpMap(mf *module.MapFile) {
+	kind := "native"
+	if mf.Managed {
+		kind = "managed"
+	}
+	fmt.Printf("mapfile %s (%s): %d DAGs, base %d, checksum %s\n",
+		mf.ModuleName, kind, mf.DAGCount, mf.DAGBase, mf.Checksum)
+	for _, d := range mf.DAGs {
+		fmt.Printf("DAG %d (%d blocks):\n", d.ID, len(d.Blocks))
+		for bi, b := range d.Blocks {
+			bit := "-"
+			if b.Bit >= 0 {
+				bit = fmt.Sprintf("%d", b.Bit)
+			}
+			extra := ""
+			if b.FuncEntry != "" {
+				extra += " entry=" + b.FuncEntry
+			}
+			if b.FuncExit {
+				extra += " exit"
+			}
+			if b.CallReturn {
+				extra += " call-return"
+			}
+			if b.CallTarget != "" {
+				extra += " calls=" + b.CallTarget
+			}
+			lines := ""
+			for _, ls := range b.Lines {
+				lines += fmt.Sprintf(" %s:%d", ls.File, ls.Line)
+			}
+			fmt.Printf("  block %d [%d,%d) bit=%s succs=%v%s |%s\n",
+				bi, b.Start, b.End, bit, b.Succs, extra, lines)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tbdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// tbinstr statically instruments a module: it accepts MiniC source
+// (.mc, compiled first) or a binary module (.tbm) and writes the
+// instrumented module plus its reconstruction mapfile — the offline
+// half of TraceBack (paper §2).
+//
+//	tbinstr -o build app.mc
+//	tbinstr -dagbase 4096 -basefile bases.json lib.tbm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"traceback/internal/core"
+	"traceback/internal/minic"
+	"traceback/internal/module"
+)
+
+func main() {
+	var (
+		outDir    = flag.String("o", ".", "output directory")
+		dagBase   = flag.Uint("dagbase", 0, "default DAG ID base for the module")
+		maxBits   = flag.Int("maxbits", 0, "cap on path bits per DAG record (0 = format maximum)")
+		forceSp   = flag.Bool("forcespill", false, "ablation: always spill for lightweight probes")
+		noBreak   = flag.Bool("nobreakatcalls", false, "ablation: omit call-return probes (UNSOUND reconstruction)")
+		baseFile  = flag.String("basefile", "", "DAG base file (JSON) assigning bases by module name")
+		emitPlain = flag.Bool("emit-module", false, "with .mc input: also write the uninstrumented module")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tbinstr [flags] <module.mc|module.tbm>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+
+	var mod *module.Module
+	var err error
+	switch {
+	case strings.HasSuffix(in, ".mc") || strings.HasSuffix(in, ".c"):
+		src, rerr := os.ReadFile(in)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		name := strings.TrimSuffix(strings.TrimSuffix(filepath.Base(in), ".mc"), ".c")
+		mod, err = minic.Compile(name, filepath.Base(in), string(src))
+	default:
+		f, rerr := os.Open(in)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		mod, err = module.Read(f)
+		f.Close()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.Options{
+		DAGBase:        uint32(*dagBase),
+		MaxPathBits:    *maxBits,
+		ForceSpill:     *forceSp,
+		NoBreakAtCalls: *noBreak,
+	}
+	if *baseFile != "" {
+		f, err := os.Open(*baseFile)
+		if err != nil {
+			fatal(err)
+		}
+		bases, err := module.LoadDAGBases(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if b, ok := bases.Bases[mod.Name]; ok {
+			opts.DAGBase = b
+		}
+	}
+
+	res, err := core.Instrument(mod, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, w func(*os.File) error) string {
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := w(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	if *emitPlain {
+		p := write(mod.Name+".tbm", func(f *os.File) error { _, err := mod.WriteTo(f); return err })
+		fmt.Printf("wrote %s (uninstrumented)\n", p)
+	}
+	modPath := write(mod.Name+".tb.tbm", func(f *os.File) error { _, err := res.Module.WriteTo(f); return err })
+	mapPath := write(mod.Name+".map.json", func(f *os.File) error { return res.Map.Save(f) })
+
+	s := res.Stats
+	fmt.Printf("wrote %s and %s\n", modPath, mapPath)
+	fmt.Printf("%s: %d funcs, %d blocks -> %d DAGs; %d heavy + %d light probes (%d spills); text +%.0f%%; checksum %s\n",
+		mod.Name, s.Funcs, s.Blocks, s.DAGs, s.HeavyProbes, s.LightProbes, s.Spills,
+		s.CodeGrowth()*100, res.Module.ChecksumHex())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tbinstr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// tbrecon reconstructs snap files into line-by-line source traces
+// (paper §4). Given several snaps from related runtimes it stitches
+// them into logical threads (paper §5).
+//
+//	tbrecon -maps build snaps/app-1.snap.json
+//	tbrecon -maps build -logical snaps/client-1.snap.json snaps/server-1.snap.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"traceback/internal/module"
+	"traceback/internal/recon"
+	"traceback/internal/snap"
+)
+
+func main() {
+	var (
+		mapsDir    = flag.String("maps", ".", "directory containing *.map.json mapfiles")
+		srcDir     = flag.String("src", "", "directory containing source files (optional, for source text)")
+		logical    = flag.Bool("logical", false, "stitch multiple snaps into logical threads")
+		interleave = flag.Bool("interleave", false, "print the merged multi-thread view")
+		flat       = flag.Bool("flat", false, "disable call-hierarchy indentation")
+		maxEvents  = flag.Int("max", 0, "cap events shown per thread (0 = all)")
+		showVars   = flag.Bool("vars", false, "print global variable values from the snap's memory dump")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tbrecon [flags] <snap.json> [more snaps...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	maps := recon.NewMapSet()
+	paths, err := filepath.Glob(filepath.Join(*mapsDir, "*.map.json"))
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fatal(err)
+		}
+		mf, err := module.LoadMapFile(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+		maps.Add(mf)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "tbrecon: warning: no mapfiles found in %s\n", *mapsDir)
+	}
+
+	opts := recon.RenderOptions{Flat: *flat, MaxEvents: *maxEvents}
+	if *srcDir != "" {
+		cache := map[string][]string{}
+		opts.Source = func(file string) []string {
+			if lines, ok := cache[file]; ok {
+				return lines
+			}
+			b, err := os.ReadFile(filepath.Join(*srcDir, filepath.Base(file)))
+			if err != nil {
+				cache[file] = nil
+				return nil
+			}
+			lines := strings.Split(string(b), "\n")
+			cache[file] = lines
+			return lines
+		}
+	}
+
+	var pts []*recon.ProcessTrace
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := snap.LoadAuto(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		pt, err := recon.Reconstruct(s, maps)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		pts = append(pts, pt)
+		if *showVars {
+			recon.RenderVariables(os.Stdout, s, maps)
+			fmt.Println()
+		}
+	}
+
+	switch {
+	case *logical:
+		mt := recon.Stitch(pts)
+		fmt.Printf("stitched %d snap(s) into %d logical thread(s)\n", len(pts), len(mt.Logical))
+		for pair, skew := range mt.SkewEstimates {
+			fmt.Printf("clock skew estimate: runtime %x -> %x: %d cycles\n", pair[0], pair[1], skew)
+		}
+		fmt.Println()
+		for _, lt := range mt.Logical {
+			recon.RenderLogical(os.Stdout, lt, opts)
+			fmt.Println()
+		}
+	case *interleave:
+		for _, pt := range pts {
+			recon.RenderInterleaved(os.Stdout, pt)
+		}
+	default:
+		for _, pt := range pts {
+			recon.Render(os.Stdout, pt, opts)
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tbrecon:", err)
+	os.Exit(1)
+}

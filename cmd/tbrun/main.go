@@ -1,0 +1,135 @@
+// tbrun loads modules into a process on the synthetic machine and
+// runs it with the TraceBack runtime attached. Snaps (from exceptions,
+// the snap API, or abrupt termination) are written to disk for
+// offline reconstruction with tbrecon.
+//
+//	tbrun -snapdir snaps app.tb.tbm
+//	tbrun -policy policy.txt -arg 3 lib.tb.tbm app.tb.tbm
+//	tbrun -kill-after 50000 app.tb.tbm     # abrupt kill, post-mortem snap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"traceback/internal/module"
+	"traceback/internal/snap"
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+)
+
+func main() {
+	var (
+		policyPath = flag.String("policy", "", "textual policy file (default: snap on everything)")
+		snapDir    = flag.String("snapdir", "snaps", "directory for snap files")
+		arg        = flag.Uint64("arg", 0, "argument passed to main")
+		bufWords   = flag.Int("bufwords", 16384, "trace buffer size in words")
+		numBufs    = flag.Int("buffers", 8, "number of main trace buffers")
+		subBufs    = flag.Int("subbuffers", 4, "sub-buffers per buffer")
+		killAfter  = flag.Int("kill-after", 0, "kill -9 the process after N scheduling quanta")
+		maxSteps   = flag.Int("maxsteps", 50_000_000, "scheduling quantum budget")
+		seed       = flag.Int64("seed", 42, "machine PRNG seed")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tbrun [flags] <module.tbm> [more modules...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := tbrt.Config{
+		BufferWords: *bufWords,
+		NumBuffers:  *numBufs,
+		SubBuffers:  *subBufs,
+		Policy:      tbrt.DefaultPolicy(),
+	}
+	if *policyPath != "" {
+		f, err := os.Open(*policyPath)
+		if err != nil {
+			fatal(err)
+		}
+		pol, err := tbrt.ParsePolicy(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Policy = pol
+	}
+
+	if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+		fatal(err)
+	}
+	snapN := 0
+	cfg.SnapSink = func(s *snap.Snap) {
+		snapN++
+		path := filepath.Join(*snapDir, fmt.Sprintf("%s-%d.snap.json", s.Process, snapN))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Save(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("snap: %s (%s)\n", path, s.Reason)
+	}
+
+	world := vm.NewWorld(*seed)
+	mach := world.NewMachine("tbrun-host", 0)
+	name := filepath.Base(flag.Arg(flag.NArg() - 1))
+	proc, rt, err := tbrt.NewProcess(mach, name, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		mod, err := module.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if _, err := proc.Load(mod); err != nil {
+			fatal(err)
+		}
+		tag := "uninstrumented"
+		if mod.Instrumented {
+			tag = fmt.Sprintf("%d DAGs", mod.DAGCount)
+		}
+		fmt.Printf("loaded %s (%s)\n", mod.Name, tag)
+	}
+	if _, err := proc.StartMain(*arg); err != nil {
+		fatal(err)
+	}
+
+	if *killAfter > 0 {
+		world.Run(*killAfter, func() bool { return proc.Exited })
+		if !proc.Exited {
+			fmt.Println("kill -9")
+			mach.KillProcess(proc)
+			rt.PostMortemSnap()
+		}
+	} else {
+		world.Run(*maxSteps, func() bool { return proc.Exited })
+	}
+
+	os.Stdout.Write(proc.Out)
+	switch {
+	case !proc.Exited:
+		fmt.Println("process did not finish (hung?); taking an external snap")
+		rt.TakeSnap(tbrt.SnapReason{Kind: "external", Detail: "tbrun timeout"})
+	case proc.FatalSignal != 0:
+		fmt.Printf("process terminated: %s\n", vm.SignalName(proc.FatalSignal))
+	default:
+		fmt.Printf("process exited normally: status %d (%d cycles)\n", proc.ExitCode, proc.Cycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tbrun:", err)
+	os.Exit(1)
+}

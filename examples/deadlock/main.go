@@ -1,0 +1,107 @@
+// Hang diagnosis: two threads take two locks in opposite orders and
+// deadlock. Nothing crashes — so no exception trigger fires. The
+// per-machine TraceBack service process detects the hang through its
+// heartbeat (the process stops making progress), snaps it, and the
+// fault-directed view shows one line per thread: exactly where each
+// one is stuck (paper §3.6.1, §3.7.5, §4.3.3).
+//
+//	go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"traceback/internal/core"
+	"traceback/internal/minic"
+	"traceback/internal/recon"
+	"traceback/internal/service"
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+)
+
+const appSrc = `int lock_accounts;
+int lock_audit;
+int balance;
+int audit_rows;
+int transfer() {
+	mutex_lock(&lock_accounts);
+	balance = balance + 100;
+	sleep(2000);
+	mutex_lock(&lock_audit);
+	audit_rows = audit_rows + 1;
+	mutex_unlock(&lock_audit);
+	mutex_unlock(&lock_accounts);
+	return 0;
+}
+int audit() {
+	mutex_lock(&lock_audit);
+	audit_rows = audit_rows + 1;
+	sleep(2000);
+	mutex_lock(&lock_accounts);
+	balance = balance - 1;
+	mutex_unlock(&lock_accounts);
+	mutex_unlock(&lock_audit);
+	return 0;
+}
+int main() {
+	int t1 = thread_create(&transfer, 0);
+	int t2 = thread_create(&audit, 0);
+	join(t1);
+	join(t2);
+	exit(0);
+}`
+
+func main() {
+	mod, err := minic.Compile("bank", "bank.mc", appSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	world := vm.NewWorld(4)
+	mach := world.NewMachine("prod-host", 0)
+	proc, rt, err := tbrt.NewProcess(mach, "bank", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := proc.Load(res.Module); err != nil {
+		log.Fatal(err)
+	}
+
+	// The machine's service process, with the runtime registered.
+	svc := service.New(mach, 100_000)
+	svc.Register(rt)
+
+	if _, err := proc.StartMain(0); err != nil {
+		log.Fatal(err)
+	}
+	// Run; the process deadlocks and stops making progress.
+	world.Run(200_000, func() bool { return proc.Exited })
+	fmt.Printf("process exited: %v (it is hung)\n", proc.Exited)
+
+	// The service heartbeat sweep notices and snaps.
+	mach.SetClock(mach.Clock() + 200_000) // time passes with no progress
+	hung := svc.CheckStatus()
+	fmt.Printf("service detected hung processes: %v (%d snap)\n\n", hung, len(svc.Snaps))
+	if len(svc.Snaps) == 0 {
+		log.Fatal("hang not detected")
+	}
+
+	pt, err := recon.Reconstruct(svc.Snaps[0], recon.NewMapSet(res.Map))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srcLines := strings.Split(appSrc, "\n")
+	recon.Render(os.Stdout, pt, recon.RenderOptions{
+		Source:    func(string) []string { return srcLines },
+		MaxEvents: 12,
+	})
+	fmt.Println("\nThe hang view shows thread 2 stopped at the lock_audit acquire")
+	fmt.Println("and thread 3 at the lock_accounts acquire: a lock-order inversion.")
+}

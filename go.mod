@@ -1,0 +1,3 @@
+module traceback
+
+go 1.22

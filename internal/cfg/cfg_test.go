@@ -1,0 +1,324 @@
+package cfg
+
+import (
+	"testing"
+
+	"traceback/internal/isa"
+	"traceback/internal/module"
+)
+
+func fn(name string, n int) module.Func {
+	return module.Func{Name: name, Entry: 0, End: uint32(n)}
+}
+
+// A diamond: entry branches, two arms join, exit.
+//
+//	0: beq r1,r2,@3
+//	1: movi r3,1
+//	2: jmp @4
+//	3: movi r3,2
+//	4: ret
+func diamond() []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.BEQ, A: 1, B: 2, Imm: 3},
+		{Op: isa.MOVI, A: 3, Imm: 1},
+		{Op: isa.JMP, Imm: 4},
+		{Op: isa.MOVI, A: 3, Imm: 2},
+		{Op: isa.RET},
+	}
+}
+
+func TestBuildDiamond(t *testing.T) {
+	code := diamond()
+	g, err := Build(code, fn("d", len(code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(g.Blocks))
+	}
+	b0 := g.Blocks[0]
+	if len(b0.Succs) != 2 {
+		t.Fatalf("entry succs = %v", b0.Succs)
+	}
+	exit, ok := g.BlockAt(4)
+	if !ok || !exit.HasRet {
+		t.Fatalf("exit block: %+v, %v", exit, ok)
+	}
+	if len(exit.Preds) != 2 {
+		t.Errorf("exit preds = %v, want 2", exit.Preds)
+	}
+}
+
+func TestBuildLoop(t *testing.T) {
+	// 0: movi r1,10
+	// 1: addi r1,r1,-1
+	// 2: bgt r1,r0,@1
+	// 3: ret
+	code := []isa.Instr{
+		{Op: isa.MOVI, A: 1, Imm: 10},
+		{Op: isa.ADDI, A: 1, B: 1, Imm: -1},
+		{Op: isa.BGT, A: 1, B: 0, Imm: 1},
+		{Op: isa.RET},
+	}
+	g, err := Build(code, fn("loop", len(code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sccs := g.NontrivialSCCs(func(int) bool { return false })
+	if len(sccs) != 1 {
+		t.Fatalf("SCCs = %v, want one loop", sccs)
+	}
+	// Cutting the loop body block breaks the cycle.
+	body, _ := g.BlockAt(1)
+	sccs = g.NontrivialSCCs(func(id int) bool { return id == body.ID })
+	if len(sccs) != 0 {
+		t.Errorf("SCCs after cut = %v, want none", sccs)
+	}
+}
+
+func TestBuildCallAnnotations(t *testing.T) {
+	// 0: call @3
+	// 1: mov r5,r0
+	// 2: ret
+	// 3: movi r0,9
+	// 4: ret
+	code := []isa.Instr{
+		{Op: isa.CALL, Imm: 3},
+		{Op: isa.MOV, A: 5, B: 0},
+		{Op: isa.RET},
+		{Op: isa.MOVI, A: 0, Imm: 9},
+		{Op: isa.RET},
+	}
+	g, err := Build(code, module.Func{Name: "caller", Entry: 0, End: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := g.Blocks[0]
+	if !b0.EndsInCall || b0.CallKind != module.CallDirect || b0.CallImm != 3 {
+		t.Errorf("call block = %+v", b0)
+	}
+	if len(b0.Succs) != 1 {
+		t.Errorf("call block succs = %v, want the return point", b0.Succs)
+	}
+	ret, ok := g.BlockAt(1)
+	if !ok {
+		t.Fatal("no block at the call return point")
+	}
+	if ret.Start != 1 {
+		t.Errorf("return-point block starts at %d", ret.Start)
+	}
+}
+
+func TestBuildJumpTable(t *testing.T) {
+	// 0: jtab r1, 2
+	// 1: jmp @3
+	// 2: jmp @4
+	// 3: movi r2,1   (multiway target)
+	// 4: ret         (multiway target)
+	code := []isa.Instr{
+		{Op: isa.JTAB, A: 1, C: 2},
+		{Op: isa.JMP, Imm: 3},
+		{Op: isa.JMP, Imm: 4},
+		{Op: isa.MOVI, A: 2, Imm: 1},
+		{Op: isa.RET},
+	}
+	g, err := Build(code, fn("sw", len(code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt := g.Blocks[0]
+	if len(jt.Succs) != 2 {
+		t.Fatalf("jtab succs = %v", jt.Succs)
+	}
+	for _, start := range []uint32{3, 4} {
+		b, ok := g.BlockAt(start)
+		if !ok || !b.IsMultiwayTarget {
+			t.Errorf("block at %d: multiway target not marked (%+v)", start, b)
+		}
+	}
+}
+
+func TestBuildRejectsEscapingBranch(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.JMP, Imm: 5},
+		{Op: isa.RET},
+	}
+	if _, err := Build(code, fn("bad", 2)); err == nil {
+		t.Fatal("branch outside function accepted")
+	}
+}
+
+func TestBuildRejectsFallOffEnd(t *testing.T) {
+	code := []isa.Instr{{Op: isa.MOVI, A: 1, Imm: 1}}
+	if _, err := Build(code, fn("bad", 1)); err == nil {
+		t.Fatal("fallthrough off function end accepted")
+	}
+}
+
+func TestBuildRejectsBadJumpTable(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.JTAB, A: 1, C: 2},
+		{Op: isa.JMP, Imm: 3},
+		{Op: isa.NOP}, // slot must be a jmp
+		{Op: isa.RET},
+	}
+	if _, err := Build(code, fn("bad", len(code))); err == nil {
+		t.Fatal("malformed jump table accepted")
+	}
+}
+
+func TestBlockContaining(t *testing.T) {
+	code := diamond()
+	g, err := Build(code, fn("d", len(code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := g.BlockContaining(2)
+	if !ok || b.Start != 1 || b.End != 3 {
+		t.Errorf("BlockContaining(2) = %+v, %v", b, ok)
+	}
+	if _, ok := g.BlockContaining(99); ok {
+		t.Error("BlockContaining out of range succeeded")
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	// r1 is read before written: live-in. r2 written then read: dead-in.
+	// 0: add r3, r1, r1
+	// 1: movi r2, 5
+	// 2: add r0, r2, r3
+	// 3: ret
+	code := []isa.Instr{
+		{Op: isa.ADD, A: 3, B: 1, C: 1},
+		{Op: isa.MOVI, A: 2, Imm: 5},
+		{Op: isa.ADD, A: 0, B: 2, C: 3},
+		{Op: isa.RET},
+	}
+	g, err := Build(code, fn("s", len(code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIn, _ := g.Liveness()
+	in := liveIn[0]
+	if !in.Has(1) {
+		t.Error("r1 should be live-in")
+	}
+	if in.Has(2) {
+		t.Error("r2 should be dead at entry")
+	}
+	if in.Has(5) || in.Has(6) || in.Has(7) {
+		t.Error("unused temporaries should be dead at entry")
+	}
+}
+
+func TestLivenessAcrossBranch(t *testing.T) {
+	// r4 used only on one arm: still live-in at the branch.
+	// 0: beq r1,r2,@3
+	// 1: mov r0,r4
+	// 2: ret
+	// 3: movi r0,0
+	// 4: ret
+	code := []isa.Instr{
+		{Op: isa.BEQ, A: 1, B: 2, Imm: 3},
+		{Op: isa.MOV, A: 0, B: 4},
+		{Op: isa.RET},
+		{Op: isa.MOVI, A: 0, Imm: 0},
+		{Op: isa.RET},
+	}
+	g, err := Build(code, fn("br", len(code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIn, liveOut := g.Liveness()
+	if !liveIn[0].Has(4) {
+		t.Error("r4 should be live into the branch block")
+	}
+	if !liveOut[0].Has(4) {
+		t.Error("r4 should be live out of the branch block")
+	}
+	arm2, _ := g.BlockAt(3)
+	if liveIn[arm2.ID].Has(4) {
+		t.Error("r4 should be dead on the arm that never reads it")
+	}
+}
+
+func TestLivenessCallClobbers(t *testing.T) {
+	// r5 (caller-saved) defined before a call and read after it: the
+	// call clobbers it, so r5 is NOT live across the call from the
+	// reader's perspective — but it *is* live into the return-point
+	// block. r9 (callee-saved) survives.
+	// 0: movi r5, 1
+	// 1: movi r9, 2
+	// 2: call @6
+	// 3: add r0, r5, r9
+	// 4: ret
+	// (function range just 0..5)
+	code := []isa.Instr{
+		{Op: isa.MOVI, A: 5, Imm: 1},
+		{Op: isa.MOVI, A: 9, Imm: 2},
+		{Op: isa.CALL, Imm: 6},
+		{Op: isa.ADD, A: 0, B: 5, C: 9},
+		{Op: isa.RET},
+		{Op: isa.NOP},
+		{Op: isa.RET},
+	}
+	g, err := Build(code, module.Func{Name: "c", Entry: 0, End: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIn, _ := g.Liveness()
+	retPoint, ok := g.BlockAt(3)
+	if !ok {
+		t.Fatal("no return-point block")
+	}
+	if !liveIn[retPoint.ID].Has(5) || !liveIn[retPoint.ID].Has(9) {
+		t.Error("r5 and r9 should be live at the call return point")
+	}
+	// At function entry neither is live (both defined first).
+	if liveIn[0].Has(5) || liveIn[0].Has(9) {
+		t.Error("r5/r9 should be dead at function entry")
+	}
+}
+
+func TestSCCNested(t *testing.T) {
+	// Nested loops: outer 0->1->2->0 with inner 1->1.
+	// 0: addi r1,r1,1
+	// 1: bne r1,r2,@1      (self loop)
+	// 2: blt r1,r3,@0      (outer back edge)
+	// 3: ret
+	code := []isa.Instr{
+		{Op: isa.ADDI, A: 1, B: 1, Imm: 1},
+		{Op: isa.BNE, A: 1, B: 2, Imm: 1},
+		{Op: isa.BLT, A: 1, B: 3, Imm: 0},
+		{Op: isa.RET},
+	}
+	g, err := Build(code, fn("nest", len(code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sccs := g.NontrivialSCCs(func(int) bool { return false })
+	if len(sccs) != 1 {
+		t.Fatalf("SCCs = %v", sccs)
+	}
+	// Cutting the self-loop block still leaves the outer cycle? No:
+	// cutting block at instr 1 removes edges into it, breaking both
+	// the self loop and the 0->1->2->0 cycle path through it.
+	b1, _ := g.BlockAt(1)
+	if rem := g.NontrivialSCCs(func(id int) bool { return id == b1.ID }); len(rem) != 0 {
+		t.Errorf("cutting the shared block should break all cycles, got %v", rem)
+	}
+	// Cutting only block 0 leaves the self loop at 1.
+	b0, _ := g.BlockAt(0)
+	if rem := g.NontrivialSCCs(func(id int) bool { return id == b0.ID }); len(rem) != 1 {
+		t.Errorf("self loop should survive cutting block 0, got %v", rem)
+	}
+}
+
+func TestRegSet(t *testing.T) {
+	var s RegSet
+	s = s.Add(3).Add(15)
+	if !s.Has(3) || !s.Has(15) || s.Has(0) {
+		t.Errorf("RegSet ops broken: %b", s)
+	}
+}

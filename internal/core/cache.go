@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+
+	"traceback/internal/module"
+)
+
+// Cache memoizes instrumentation by module checksum — the paper's
+// §3.4 on-disk cache for dynamically generated code (ASP.NET .aspx /
+// JSP pages): the first load of a generated module pays for
+// instrumentation, subsequent loads (and subsequent processes) reuse
+// the cached instrumented image; a rebuilt page changes its checksum
+// and is re-instrumented.
+type Cache struct {
+	mu   sync.Mutex
+	opts Options
+	// nextBase hands each newly cached module a distinct default DAG
+	// base so same-process loads rarely need rebasing.
+	nextBase uint32
+	entries  map[string]*Result
+
+	// Hits/Misses are observable for tests and operations.
+	Hits, Misses int
+}
+
+// NewCache creates an instrumentation cache with shared options.
+func NewCache(opts Options) *Cache {
+	return &Cache{opts: opts, entries: map[string]*Result{}}
+}
+
+// Instrument returns the cached instrumentation of m, instrumenting
+// on first sight of its checksum.
+func (c *Cache) Instrument(m *module.Module) (*Result, error) {
+	key := m.ChecksumHex()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.entries[key]; ok {
+		c.Hits++
+		return r, nil
+	}
+	c.Misses++
+	opts := c.opts
+	opts.DAGBase = c.nextBase
+	r, err := Instrument(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.nextBase += r.Module.DAGCount
+	c.entries[key] = r
+	return r, nil
+}
+
+// Len reports the number of cached modules.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,698 @@
+// Package core implements the paper's primary contribution: static
+// binary instrumentation that injects control-flow probes at basic
+// block granularity.
+//
+// Each function's CFG is tiled into DAGs (paper §2.1): heavyweight
+// probes at DAG headers record a fresh trace record carrying the DAG
+// ID; lightweight probes inside the DAG OR per-block bits into that
+// record. Headers are forced at function entries, loop heads, call
+// return points (paper §2.2/§2.4), and multiway-branch targets, and
+// further splits keep every DAG within the record's path-bit budget.
+// Probe code scavenges dead registers found by liveness analysis and
+// spills only when none are free (the paper's gzip longest_match
+// case). The rewritten code is re-laid-out, all code targets and
+// line/function tables are fixed up, the probe helper subroutine is
+// appended to the module, and a mapfile is emitted for
+// reconstruction.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"traceback/internal/cfg"
+	"traceback/internal/isa"
+	"traceback/internal/module"
+	"traceback/internal/trace"
+)
+
+// Options control instrumentation.
+type Options struct {
+	// DAGBase is the default (instrumentation-time) base of the
+	// module's DAG ID range; the runtime may rebase it at load.
+	DAGBase uint32
+	// MaxPathBits caps the lightweight-probe bits per DAG record.
+	// 0 means trace.NumPathBits. Lower values force more heavyweight
+	// probes (an ablation knob).
+	MaxPathBits int
+	// NoBreakAtCalls disables the heavyweight probe at call return
+	// points. This removes the guarantee that exceptions in callees
+	// are attributed to the right call (and, for instrumented
+	// callees, corrupts path bits), but shows the cost the paper's
+	// §2.2 requirement imposes. Benchmark/ablation use only.
+	NoBreakAtCalls bool
+	// ForceSpill makes every lightweight probe use the spill/restore
+	// form even when a dead register is available, isolating the
+	// register-scavenging benefit (paper §6 gzip analysis).
+	ForceSpill bool
+}
+
+// Stats summarizes what instrumentation did to a module.
+type Stats struct {
+	Funcs       int
+	Blocks      int
+	DAGs        int
+	HeavyProbes int
+	LightProbes int
+	Spills      int // lightweight probes that had to spill a register
+	SavedRV     int // heavyweight probes that had to save/restore r0
+	OrigInstrs  int
+	NewInstrs   int
+}
+
+// CodeGrowth is the fractional text-size increase (paper §6 reports
+// about 60% for SPECint binaries).
+func (s Stats) CodeGrowth() float64 {
+	if s.OrigInstrs == 0 {
+		return 0
+	}
+	return float64(s.NewInstrs-s.OrigInstrs) / float64(s.OrigInstrs)
+}
+
+// Result is the output of Instrument.
+type Result struct {
+	Module *module.Module
+	Map    *module.MapFile
+	Stats  Stats
+}
+
+// HelperName is the probe helper subroutine injected into every
+// instrumented module (the analog of the paper's 0x7000 subroutine).
+const HelperName = "__tb_probe_helper"
+
+// Instrument rewrites m into an instrumented module and its mapfile.
+// m is not modified.
+func Instrument(m *module.Module, opts Options) (*Result, error) {
+	if m.Instrumented {
+		return nil, fmt.Errorf("core: module %s is already instrumented", m.Name)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	maxBits := opts.MaxPathBits
+	if maxBits <= 0 || maxBits > trace.NumPathBits {
+		maxBits = trace.NumPathBits
+	}
+
+	ins := &instrumenter{m: m, opts: opts, maxBits: maxBits}
+	return ins.run()
+}
+
+type instrumenter struct {
+	m       *module.Module
+	opts    Options
+	maxBits int
+
+	stats Stats
+
+	// Per-function tiling results, in function order.
+	tilings []*tiling
+
+	nextDAG uint32
+}
+
+// tiling is the DAG tiling of one function.
+type tiling struct {
+	fn     module.Func
+	g      *cfg.Graph
+	header map[int]bool // block ID -> is DAG header
+	owner  []int        // block ID -> owning header block ID (-1 if none)
+	// dags maps header block ID -> DAG descriptor.
+	dags map[int]*dag
+	// headersByStart lists headers ordered by block start.
+	headersByStart []int
+}
+
+// dag describes one tile: blocks in topological order, header first.
+type dag struct {
+	id     uint32 // module-relative DAG ID
+	blocks []int  // block IDs, topological order, blocks[0] = header
+	pos    map[int]int
+	bits   map[int]int8 // block ID -> assigned bit (absent = none)
+}
+
+func (ins *instrumenter) run() (*Result, error) {
+	m := ins.m
+	for _, fn := range m.Funcs {
+		g, err := cfg.Build(m.Code, fn)
+		if err != nil {
+			return nil, err
+		}
+		t, err := ins.tile(g, fn)
+		if err != nil {
+			return nil, err
+		}
+		ins.tilings = append(ins.tilings, t)
+		ins.stats.Funcs++
+		ins.stats.Blocks += len(g.Blocks)
+	}
+	if ins.nextDAG > trace.MaxDAGID {
+		return nil, fmt.Errorf("core: module %s needs %d DAG IDs, exceeding the %d-bit ID space",
+			m.Name, ins.nextDAG, trace.DAGIDBits)
+	}
+	return ins.emit()
+}
+
+// tile computes the DAG tiling of one function (paper §2.1–§2.2).
+func (ins *instrumenter) tile(g *cfg.Graph, fn module.Func) (*tiling, error) {
+	t := &tiling{fn: fn, g: g, header: map[int]bool{}}
+
+	// Mandatory headers.
+	t.header[g.Entry] = true
+	for _, b := range g.Blocks {
+		if b.IsMultiwayTarget && !b.IsJTABSlot {
+			t.header[b.ID] = true
+		}
+		if b.EndsInCall && !ins.opts.NoBreakAtCalls {
+			// The call's return point is a fresh entry (paper §2.2).
+			for _, s := range b.Succs {
+				if !g.Blocks[s].IsJTABSlot {
+					t.header[s] = true
+				}
+			}
+		}
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 4*len(g.Blocks)+16 {
+			return nil, fmt.Errorf("core: tiling of %s did not converge", fn.Name)
+		}
+		changed := false
+
+		// 1. Break cycles: every loop must contain a header.
+		cut := func(id int) bool { return t.header[id] }
+		for _, scc := range g.NontrivialSCCs(cut) {
+			pick := -1
+			for _, id := range scc {
+				if g.Blocks[id].IsJTABSlot {
+					continue
+				}
+				if pick == -1 || g.Blocks[id].Start < g.Blocks[pick].Start {
+					pick = id
+				}
+			}
+			if pick == -1 {
+				return nil, fmt.Errorf("core: %s: cycle through jump-table slots only", fn.Name)
+			}
+			t.header[pick] = true
+			changed = true
+		}
+		if changed {
+			continue
+		}
+
+		// 2. Partition: a block reachable from two headers without
+		// crossing a header would need two different bit assignments,
+		// so promote it.
+		owner := make([]int, len(g.Blocks))
+		for i := range owner {
+			owner[i] = -1
+		}
+		conflict := false
+		for _, hid := range sortedHeaders(t.header, g) {
+			queue := []int{hid}
+			owner[hid] = hid
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for _, s := range g.Blocks[v].Succs {
+					if t.header[s] {
+						continue
+					}
+					switch owner[s] {
+					case -1:
+						owner[s] = hid
+						queue = append(queue, s)
+					case hid:
+						// already visited from this header
+					default:
+						if !g.Blocks[s].IsJTABSlot {
+							t.header[s] = true
+							conflict = true
+						}
+					}
+				}
+			}
+		}
+		if conflict {
+			continue
+		}
+		t.owner = owner
+
+		// 3. Build DAGs and assign bits; split DAGs that exceed the
+		// path-bit budget.
+		t.dags = map[int]*dag{}
+		split := false
+		for _, hid := range sortedHeaders(t.header, g) {
+			d := buildDAG(g, t, hid)
+			over := assignBits(g, t, d, ins.maxBits)
+			if over != -1 {
+				t.header[over] = true
+				split = true
+				break
+			}
+			t.dags[hid] = d
+		}
+		if split {
+			continue
+		}
+		break
+	}
+
+	// Stable DAG ID assignment: headers in address order.
+	for hid := range t.header {
+		t.headersByStart = append(t.headersByStart, hid)
+	}
+	sort.Slice(t.headersByStart, func(i, j int) bool {
+		return g.Blocks[t.headersByStart[i]].Start < g.Blocks[t.headersByStart[j]].Start
+	})
+	for _, hid := range t.headersByStart {
+		t.dags[hid].id = ins.nextDAG
+		ins.nextDAG++
+	}
+	ins.stats.DAGs += len(t.headersByStart)
+	return t, nil
+}
+
+// sortedHeaders returns the header block IDs in address order so that
+// tiling decisions (and therefore DAG IDs, probe layout, and the
+// module checksum) are deterministic.
+func sortedHeaders(header map[int]bool, g *cfg.Graph) []int {
+	ids := make([]int, 0, len(header))
+	for id := range header {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return g.Blocks[ids[i]].Start < g.Blocks[ids[j]].Start })
+	return ids
+}
+
+// buildDAG collects the blocks owned by header hid in topological
+// order (header first).
+func buildDAG(g *cfg.Graph, t *tiling, hid int) *dag {
+	member := map[int]bool{hid: true}
+	for id, o := range t.owner {
+		if o == hid && !t.header[id] {
+			member[id] = true
+		}
+	}
+	// Kahn topological sort over in-DAG edges.
+	indeg := map[int]int{}
+	for id := range member {
+		indeg[id] += 0
+		for _, s := range g.Blocks[id].Succs {
+			if member[s] && s != hid {
+				indeg[s]++
+			}
+		}
+	}
+	queue := []int{hid}
+	var order []int
+	seen := map[int]bool{hid: true}
+	for len(queue) > 0 {
+		// Deterministic order: pick smallest start among ready nodes.
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if g.Blocks[queue[i]].Start < g.Blocks[queue[best]].Start {
+				best = i
+			}
+		}
+		v := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+		order = append(order, v)
+		for _, s := range g.Blocks[v].Succs {
+			if !member[s] || s == hid || seen[s] {
+				continue
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	d := &dag{blocks: order, pos: make(map[int]int, len(order)), bits: map[int]int8{}}
+	for i, id := range order {
+		d.pos[id] = i
+	}
+	return d
+}
+
+// assignBits gives each block that needs one a path bit, in
+// topological order. A block needs a bit when some in-DAG predecessor
+// has more than one successor (otherwise its execution is implied;
+// paper §2.1: blocks reached only by unconditional control need no
+// probe). Jump-table slots never get probes. Returns the block ID to
+// promote to header if the budget is exceeded, or -1.
+func assignBits(g *cfg.Graph, t *tiling, d *dag, maxBits int) int {
+	next := int8(0)
+	for _, id := range d.blocks[1:] {
+		b := g.Blocks[id]
+		if b.IsJTABSlot {
+			continue
+		}
+		need := false
+		for _, p := range b.Preds {
+			if _, in := d.pos[p]; in && len(g.Blocks[p].Succs) > 1 {
+				need = true
+				break
+			}
+		}
+		if !need {
+			continue
+		}
+		if int(next) >= maxBits {
+			return id
+		}
+		d.bits[id] = next
+		next++
+	}
+	return -1
+}
+
+// emit rewrites the module: inserts probe sequences, re-lays-out the
+// code, fixes up all code targets and tables, appends the probe
+// helper, and produces the mapfile.
+func (ins *instrumenter) emit() (*Result, error) {
+	m := ins.m
+	old := m.Code
+	ins.stats.OrigInstrs = len(old)
+
+	// probesAt[oldIdx] is the probe sequence to inject before the
+	// instruction at oldIdx.
+	probesAt := make(map[uint32][]isa.Instr)
+	// dagStoreOffsets[oldIdx] lists offsets (within the injected
+	// sequence) of STI4 DAG writes, for the fixup table.
+	type probeMeta struct {
+		stiOffsets []int
+		tlsOffsets []int
+	}
+	meta := make(map[uint32]*probeMeta)
+
+	for fi, t := range ins.tilings {
+		liveIn, _ := t.g.Liveness()
+		for _, hid := range t.headersByStart {
+			d := t.dags[hid]
+			for pi, id := range d.blocks {
+				b := t.g.Blocks[id]
+				var seq []isa.Instr
+				pm := &probeMeta{}
+				if pi == 0 {
+					// Heavyweight probe: call helper (buffer pointer
+					// returned in r0), then store the pre-shifted DAG
+					// record. r0 is saved/restored when live-in.
+					word := trace.DAGWord(m.DAGBase+d.id, 0)
+					saveRV := liveIn[id].Has(isa.RV)
+					if saveRV {
+						seq = append(seq, isa.Instr{Op: isa.PUSH, A: isa.RV})
+						ins.stats.SavedRV++
+					}
+					seq = append(seq, isa.Instr{Op: isa.CALL, Imm: helperCallPlaceholder})
+					pm.stiOffsets = append(pm.stiOffsets, len(seq))
+					seq = append(seq, isa.Instr{Op: isa.STI4, A: isa.RV, Imm: int32(word)})
+					if saveRV {
+						seq = append(seq, isa.Instr{Op: isa.POP, A: isa.RV})
+					}
+					ins.stats.HeavyProbes++
+				} else if bit, ok := d.bits[id]; ok {
+					// Lightweight probe: load the buffer pointer from
+					// TLS into a scavenged dead register and OR the
+					// block's bit into the current record.
+					scratch := -1
+					if !ins.opts.ForceSpill {
+						for r := 0; r < isa.NumRegs; r++ {
+							if r == isa.SP || r == isa.FP {
+								continue
+							}
+							if !liveIn[id].Has(uint8(r)) {
+								scratch = r
+								break
+							}
+						}
+					}
+					bitsImm := int32(1) << uint(bit)
+					if scratch >= 0 {
+						pm.tlsOffsets = append(pm.tlsOffsets, len(seq))
+						seq = append(seq,
+							isa.Instr{Op: isa.TLSLD, A: uint8(scratch), C: isa.TLSSlot},
+							isa.Instr{Op: isa.ORM4, A: uint8(scratch), Imm: bitsImm})
+					} else {
+						// No dead register: spill/restore (the gzip
+						// longest_match case, paper §6).
+						const spillReg = 5
+						seq = append(seq, isa.Instr{Op: isa.PUSH, A: spillReg})
+						pm.tlsOffsets = append(pm.tlsOffsets, len(seq))
+						seq = append(seq,
+							isa.Instr{Op: isa.TLSLD, A: spillReg, C: isa.TLSSlot},
+							isa.Instr{Op: isa.ORM4, A: spillReg, Imm: bitsImm},
+							isa.Instr{Op: isa.POP, A: spillReg})
+						ins.stats.Spills++
+					}
+					ins.stats.LightProbes++
+				}
+				if len(seq) > 0 {
+					probesAt[b.Start] = seq
+					meta[b.Start] = pm
+				}
+			}
+		}
+		_ = fi
+	}
+
+	// Relayout: build new code with probes injected, tracking the
+	// old->new index map (new index of the first injected instruction,
+	// so branches to a block enter through its probe).
+	newCode := make([]isa.Instr, 0, len(old)+len(probesAt)*3)
+	oldToNew := make([]uint32, len(old)+1)
+	newMod := &module.Module{
+		Name:         m.Name,
+		Data:         append([]byte(nil), m.Data...),
+		BSS:          m.BSS,
+		Imports:      append([]module.Import(nil), m.Imports...),
+		Globals:      append([]module.Global(nil), m.Globals...),
+		Files:        append([]string(nil), m.Files...),
+		Instrumented: true,
+		DAGBase:      m.DAGBase,
+		DAGCount:     ins.nextDAG,
+	}
+	if ins.opts.DAGBase != 0 {
+		// Caller-specified default base (e.g. from a DAG base file).
+		newMod.DAGBase = ins.opts.DAGBase
+	}
+	for i, in := range old {
+		oldToNew[i] = uint32(len(newCode))
+		if seq, ok := probesAt[uint32(i)]; ok {
+			pm := meta[uint32(i)]
+			base := len(newCode)
+			for _, off := range pm.stiOffsets {
+				newMod.DAGFixups = append(newMod.DAGFixups, uint32(base+off))
+			}
+			for _, off := range pm.tlsOffsets {
+				newMod.TLSFixups = append(newMod.TLSFixups, uint32(base+off))
+			}
+			newCode = append(newCode, seq...)
+		}
+		newCode = append(newCode, in)
+	}
+	oldToNew[len(old)] = uint32(len(newCode))
+
+	// Rebase the caller-specified DAG base into the probe stores.
+	if newMod.DAGBase != m.DAGBase {
+		for _, fx := range newMod.DAGFixups {
+			w := uint32(newCode[fx].Imm)
+			local := trace.DAGID(w) - m.DAGBase
+			newCode[fx].Imm = int32(trace.DAGWord(newMod.DAGBase+local, 0))
+		}
+	}
+
+	// Append the probe helper subroutine.
+	helperEntry := uint32(len(newCode))
+	helper, helperTLS := helperCode(helperEntry)
+	newCode = append(newCode, helper...)
+	for _, off := range helperTLS {
+		newMod.TLSFixups = append(newMod.TLSFixups, helperEntry+off)
+	}
+
+	// Fix up code targets.
+	for i := range newCode {
+		in := &newCode[i]
+		if uint32(i) >= helperEntry {
+			break
+		}
+		if in.Op == isa.CALL && in.Imm == helperCallPlaceholder {
+			in.Imm = int32(helperEntry)
+			continue
+		}
+		if in.Op.HasCodeTarget() {
+			in.Imm = int32(oldToNew[in.Imm])
+		}
+	}
+
+	// Rebuild the function and line tables.
+	for _, f := range m.Funcs {
+		newMod.Funcs = append(newMod.Funcs, module.Func{
+			Name:     f.Name,
+			Entry:    oldToNew[f.Entry],
+			End:      oldToNew[f.End],
+			Exported: f.Exported,
+		})
+	}
+	newMod.Funcs = append(newMod.Funcs, module.Func{
+		Name:  HelperName,
+		Entry: helperEntry,
+		End:   uint32(len(newCode)),
+	})
+	for _, e := range m.Lines {
+		newMod.Lines = append(newMod.Lines, module.LineEntry{
+			Index: oldToNew[e.Index], File: e.File, Line: e.Line,
+		})
+	}
+	newMod.Code = newCode
+	ins.stats.NewInstrs = len(newCode)
+	if err := newMod.Validate(); err != nil {
+		return nil, fmt.Errorf("core: instrumented module invalid: %w", err)
+	}
+
+	mf, err := ins.buildMapFile(newMod, oldToNew)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Module: newMod, Map: mf, Stats: ins.stats}, nil
+}
+
+const helperCallPlaceholder = -1 << 24
+
+// helperCode generates the probe helper (paper §2.1's subroutine):
+//
+//	push r1
+//	tlsld r0, 60        ; buffer pointer (last written record)
+//	addi r0, r0, 4      ; advance to the next slot
+//	ld4  r1, [r0]       ; sign-extending load
+//	beqi r1, -1, wrap   ; sentinel? call into the runtime
+//	tlsst 60, r0
+//	pop r1
+//	ret
+//	wrap: sys TBWrap    ; runtime assigns a slot, sets TLS, r0 = slot
+//	pop r1
+//	ret
+//
+// Returned offsets identify the TLS instructions for the fixup table.
+func helperCode(entry uint32) ([]isa.Instr, []uint32) {
+	wrap := entry + 8
+	code := []isa.Instr{
+		{Op: isa.PUSH, A: 1},
+		{Op: isa.TLSLD, A: isa.RV, C: isa.TLSSlot},
+		{Op: isa.ADDI, A: isa.RV, B: isa.RV, Imm: 4},
+		{Op: isa.LD4, A: 1, B: isa.RV},
+		{Op: isa.BEQI, A: 1, C: 0xFF /* -1 */, Imm: int32(wrap)},
+		{Op: isa.TLSST, A: isa.RV, C: isa.TLSSlot},
+		{Op: isa.POP, A: 1},
+		{Op: isa.RET},
+		{Op: isa.SYS, Imm: isa.SysTBWrap}, // wrap:
+		{Op: isa.POP, A: 1},
+		{Op: isa.RET},
+	}
+	return code, []uint32{1, 5}
+}
+
+// buildMapFile emits the reconstruction sidecar for the instrumented
+// module (paper §2.1: DAG->blocks and bit->successor tables, plus the
+// per-block line spans and call annotations §4.3 needs).
+func (ins *instrumenter) buildMapFile(nm *module.Module, oldToNew []uint32) (*module.MapFile, error) {
+	mf := &module.MapFile{
+		ModuleName: nm.Name,
+		Checksum:   nm.ChecksumHex(),
+		DAGBase:    nm.DAGBase,
+		DAGCount:   nm.DAGCount,
+		DAGs:       make([]module.MapDAG, nm.DAGCount),
+		Globals:    append([]module.Global(nil), nm.Globals...),
+	}
+	for _, t := range ins.tilings {
+		for _, hid := range t.headersByStart {
+			d := t.dags[hid]
+			md := module.MapDAG{ID: d.id}
+			for _, id := range d.blocks {
+				b := t.g.Blocks[id]
+				nb := module.MapBlock{
+					Start: oldToNew[b.Start],
+					End:   oldToNew[b.End],
+					Bit:   -1,
+				}
+				if bit, ok := d.bits[id]; ok {
+					nb.Bit = bit
+				}
+				for _, s := range b.Succs {
+					if p, in := d.pos[s]; in && s != hid {
+						nb.Succs = append(nb.Succs, p)
+					}
+				}
+				sort.Ints(nb.Succs)
+				nb.Lines = lineSpans(nm, nb.Start, nb.End)
+				if b.EndsInCall {
+					nb.Call = b.CallKind
+					nb.CallTarget = ins.callTargetName(t, b)
+				}
+				if f, ok := nm.FindFunc(nb.Start); ok && f.Entry == nb.Start {
+					nb.FuncEntry = f.Name
+				}
+				nb.FuncExit = b.HasRet
+				nb.CallReturn = isCallReturn(t.g, b)
+				md.Blocks = append(md.Blocks, nb)
+			}
+			mf.DAGs[d.id] = md
+		}
+	}
+	return mf, mf.Validate()
+}
+
+func isCallReturn(g *cfg.Graph, b *cfg.Block) bool {
+	for _, p := range b.Preds {
+		if g.Blocks[p].EndsInCall {
+			return true
+		}
+	}
+	return false
+}
+
+// callTargetName resolves a human-readable name for the call ending
+// block b.
+func (ins *instrumenter) callTargetName(t *tiling, b *cfg.Block) string {
+	switch b.CallKind {
+	case module.CallDirect:
+		for _, f := range ins.m.Funcs {
+			if f.Entry == uint32(b.CallImm) {
+				return f.Name
+			}
+		}
+		return fmt.Sprintf("@%d", b.CallImm)
+	case module.CallImport:
+		if int(b.CallImm) < len(ins.m.Imports) {
+			im := ins.m.Imports[b.CallImm]
+			if im.Module != "" {
+				return im.Module + "!" + im.Name
+			}
+			return im.Name
+		}
+	case module.CallIndirect:
+		return fmt.Sprintf("(*r%d)", b.CallImm)
+	}
+	return ""
+}
+
+// lineSpans slices [start, end) of the instrumented module into
+// per-source-line spans.
+func lineSpans(nm *module.Module, start, end uint32) []module.LineSpan {
+	var spans []module.LineSpan
+	for i := start; i < end; i++ {
+		file, line, ok := nm.LineFor(i)
+		if !ok {
+			continue
+		}
+		n := len(spans)
+		if n > 0 && spans[n-1].File == file && spans[n-1].Line == line && spans[n-1].End == i {
+			spans[n-1].End = i + 1
+			continue
+		}
+		spans = append(spans, module.LineSpan{File: file, Line: line, Start: i, End: i + 1})
+	}
+	return spans
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"testing"
+
+	"traceback/internal/isa"
+	"traceback/internal/module"
+	"traceback/internal/trace"
+)
+
+// figure2Module builds the paper's Figure 2 shape: a function whose
+// CFG is a diamond followed by an RPC-style call, which forces the
+// graph to be tiled with two DAGs.
+//
+//	line 1: if (a == b)        block A (entry)
+//	line 2:   x = 1            block B
+//	line 3: else x = 2         block C
+//	line 4: rpc()              block D (ends in call)
+//	line 5: y = r + x          block E (call return point)
+//	line 6: return             (still block E)
+func figure2Module() *module.Module {
+	return &module.Module{
+		Name: "fig2",
+		Code: []isa.Instr{
+			{Op: isa.BEQ, A: 1, B: 2, Imm: 3}, // 0 A
+			{Op: isa.MOVI, A: 3, Imm: 1},      // 1 B
+			{Op: isa.JMP, Imm: 4},             // 2 B
+			{Op: isa.MOVI, A: 3, Imm: 2},      // 3 C
+			{Op: isa.CALL, Imm: 7},            // 4 D
+			{Op: isa.ADD, A: 4, B: 0, C: 3},   // 5 E (reads r0: the call's result)
+			{Op: isa.RET},                     // 6 E
+			{Op: isa.MOVI, A: 0, Imm: 0},      // 7 rpc
+			{Op: isa.RET},                     // 8 rpc
+		},
+		Funcs: []module.Func{
+			{Name: "main", Entry: 0, End: 7, Exported: true},
+			{Name: "rpc", Entry: 7, End: 9},
+		},
+		Files: []string{"fig2.mc"},
+		Lines: []module.LineEntry{
+			{Index: 0, File: 0, Line: 1},
+			{Index: 1, File: 0, Line: 2},
+			{Index: 3, File: 0, Line: 3},
+			{Index: 4, File: 0, Line: 4},
+			{Index: 5, File: 0, Line: 5},
+			{Index: 6, File: 0, Line: 6},
+			{Index: 7, File: 0, Line: 10},
+		},
+	}
+}
+
+func TestFigure2DAGTiling(t *testing.T) {
+	res, err := Instrument(figure2Module(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := res.Map
+	// The call forces main into two DAGs; rpc adds a third.
+	if mf.DAGCount != 3 {
+		t.Fatalf("DAGCount = %d, want 3 (two for main, one for rpc)", mf.DAGCount)
+	}
+	d0, _ := mf.DAGByID(0)
+	if len(d0.Blocks) != 4 {
+		t.Fatalf("DAG 0 has %d blocks, want 4 (A,B,C,D)", len(d0.Blocks))
+	}
+	// Header (A) carries no bit; B and C carry bits; D is implied
+	// (all of its in-DAG predecessors branch unconditionally to it).
+	if d0.Blocks[0].Bit != -1 {
+		t.Error("header block must not carry a path bit")
+	}
+	bits := 0
+	for _, b := range d0.Blocks[1:] {
+		if b.Bit >= 0 {
+			bits++
+		}
+	}
+	if bits != 2 {
+		t.Errorf("DAG 0 assigned %d bits, want 2 (B and C; D is implied)", bits)
+	}
+	// The last block of DAG 0 ends in a call.
+	last := d0.Blocks[len(d0.Blocks)-1]
+	if last.Call != module.CallDirect || last.CallTarget != "rpc" {
+		t.Errorf("call annotation = %v %q, want direct rpc", last.Call, last.CallTarget)
+	}
+	// DAG 1 is the call return point.
+	d1, _ := mf.DAGByID(1)
+	if len(d1.Blocks) != 1 || !d1.Blocks[0].CallReturn || !d1.Blocks[0].FuncExit {
+		t.Errorf("DAG 1 = %+v, want single call-return exit block", d1.Blocks)
+	}
+	// DAG 2 is rpc's entry.
+	d2, _ := mf.DAGByID(2)
+	if d2.Blocks[0].FuncEntry != "rpc" {
+		t.Errorf("DAG 2 entry = %q, want rpc", d2.Blocks[0].FuncEntry)
+	}
+	if res.Stats.HeavyProbes != 3 || res.Stats.LightProbes != 2 {
+		t.Errorf("stats = %+v, want 3 heavy / 2 light", res.Stats)
+	}
+	// The return-point probe must save r0: the ADD consumes the call
+	// result that lives there.
+	if res.Stats.SavedRV != 1 {
+		t.Errorf("SavedRV = %d, want 1 (r0 live at the call return point)", res.Stats.SavedRV)
+	}
+}
+
+func TestInstrumentedModuleIsValid(t *testing.T) {
+	res, err := Instrument(figure2Module(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Module.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Map.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Module.Instrumented {
+		t.Error("module not marked instrumented")
+	}
+	if _, ok := res.Module.FuncByName(HelperName); !ok {
+		t.Error("probe helper not appended")
+	}
+	if res.Map.Checksum != res.Module.ChecksumHex() {
+		t.Error("mapfile checksum does not match the instrumented module")
+	}
+	if len(res.Module.DAGFixups) != int(res.Module.DAGCount) {
+		t.Errorf("%d DAG fixups for %d DAGs", len(res.Module.DAGFixups), res.Module.DAGCount)
+	}
+}
+
+func TestInstrumentRejectsDoubleInstrumentation(t *testing.T) {
+	res, err := Instrument(figure2Module(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Instrument(res.Module, Options{}); err == nil {
+		t.Fatal("double instrumentation accepted")
+	}
+}
+
+func TestLoopGetsHeader(t *testing.T) {
+	// while (r1 > 0) r1--;  — the loop body must contain a header or
+	// path records could grow without bound.
+	m := &module.Module{
+		Name: "loop",
+		Code: []isa.Instr{
+			{Op: isa.MOVI, A: 1, Imm: 100},      // 0
+			{Op: isa.BLE, A: 1, B: 0, Imm: 4},   // 1 loop head
+			{Op: isa.ADDI, A: 1, B: 1, Imm: -1}, // 2 body
+			{Op: isa.JMP, Imm: 1},               // 3
+			{Op: isa.RET},                       // 4
+		},
+		Funcs: []module.Func{{Name: "f", Entry: 0, End: 5}},
+	}
+	res, err := Instrument(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry DAG plus at least one header inside the cycle.
+	if res.Map.DAGCount < 2 {
+		t.Fatalf("DAGCount = %d, want >= 2 for a loop", res.Map.DAGCount)
+	}
+}
+
+func TestPathBitBudgetForcesSplit(t *testing.T) {
+	// A chain of diamonds long enough to exceed a 2-bit budget.
+	var code []isa.Instr
+	for i := 0; i < 4; i++ {
+		base := int32(len(code))
+		code = append(code,
+			isa.Instr{Op: isa.BEQ, A: 1, B: 2, Imm: base + 3}, // diamond head
+			isa.Instr{Op: isa.MOVI, A: 3, Imm: 1},
+			isa.Instr{Op: isa.JMP, Imm: base + 4},
+			isa.Instr{Op: isa.MOVI, A: 3, Imm: 2},
+			isa.Instr{Op: isa.NOP}, // join
+		)
+	}
+	code = append(code, isa.Instr{Op: isa.RET})
+	m := &module.Module{Name: "wide", Code: code,
+		Funcs: []module.Func{{Name: "f", Entry: 0, End: uint32(len(code))}}}
+
+	limited, err := Instrument(m, Options{MaxPathBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Instrument(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Map.DAGCount <= free.Map.DAGCount {
+		t.Errorf("limited bits gave %d DAGs, unlimited gave %d; want more DAGs under pressure",
+			limited.Map.DAGCount, free.Map.DAGCount)
+	}
+	for _, d := range limited.Map.DAGs {
+		for _, b := range d.Blocks {
+			if b.Bit >= 2 {
+				t.Errorf("bit %d assigned with MaxPathBits=2", b.Bit)
+			}
+		}
+	}
+}
+
+func TestForceSpillUsesPushPop(t *testing.T) {
+	m := figure2Module()
+	spill, err := Instrument(m, Options{ForceSpill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spill.Stats.Spills != spill.Stats.LightProbes || spill.Stats.Spills == 0 {
+		t.Errorf("ForceSpill: %d spills of %d light probes", spill.Stats.Spills, spill.Stats.LightProbes)
+	}
+	clean, err := Instrument(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Stats.Spills != 0 {
+		t.Errorf("registers were available but %d probes spilled", clean.Stats.Spills)
+	}
+	if spill.Stats.NewInstrs <= clean.Stats.NewInstrs {
+		t.Error("spilling probes should cost extra instructions")
+	}
+}
+
+func TestNoBreakAtCallsReducesDAGs(t *testing.T) {
+	m := figure2Module()
+	with, err := Instrument(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Instrument(m, Options{NoBreakAtCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Map.DAGCount >= with.Map.DAGCount {
+		t.Errorf("NoBreakAtCalls: %d DAGs, with breaks: %d; want fewer",
+			without.Map.DAGCount, with.Map.DAGCount)
+	}
+}
+
+func TestJumpTableTargetsBecomeHeaders(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.JTAB, A: 1, C: 2},   // 0
+		{Op: isa.JMP, Imm: 3},        // 1 slot
+		{Op: isa.JMP, Imm: 5},        // 2 slot
+		{Op: isa.MOVI, A: 2, Imm: 1}, // 3 case 0
+		{Op: isa.RET},                // 4
+		{Op: isa.MOVI, A: 2, Imm: 2}, // 5 case 1
+		{Op: isa.RET},                // 6
+	}
+	m := &module.Module{Name: "sw", Code: code,
+		Funcs: []module.Func{{Name: "f", Entry: 0, End: uint32(len(code))}}}
+	res, err := Instrument(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry DAG + one DAG per case target.
+	if res.Map.DAGCount != 3 {
+		t.Fatalf("DAGCount = %d, want 3", res.Map.DAGCount)
+	}
+	// The jump table slots must remain contiguous with the JTAB in
+	// the instrumented code: no probe between JTAB and its slots.
+	var jtabAt = -1
+	for i, in := range res.Module.Code {
+		if in.Op == isa.JTAB {
+			jtabAt = i
+			break
+		}
+	}
+	if jtabAt == -1 {
+		t.Fatal("JTAB lost")
+	}
+	for s := 1; s <= 2; s++ {
+		if res.Module.Code[jtabAt+s].Op != isa.JMP {
+			t.Fatalf("instruction %d after JTAB is %v, want jmp", s, res.Module.Code[jtabAt+s].Op)
+		}
+	}
+}
+
+func TestDAGBaseRebasedIntoProbes(t *testing.T) {
+	res, err := Instrument(figure2Module(), Options{DAGBase: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Module.DAGBase != 5000 {
+		t.Fatalf("DAGBase = %d", res.Module.DAGBase)
+	}
+	for i, fx := range res.Module.DAGFixups {
+		w := uint32(res.Module.Code[fx].Imm)
+		if !trace.IsDAG(w) {
+			t.Fatalf("fixup %d: imm %#x is not a DAG word", i, w)
+		}
+		if id := trace.DAGID(w); id < 5000 || id >= 5000+res.Module.DAGCount {
+			t.Errorf("fixup %d: DAG ID %d outside [5000,%d)", i, id, 5000+res.Module.DAGCount)
+		}
+	}
+}
+
+func TestBranchTargetsEnterThroughProbes(t *testing.T) {
+	res, err := Instrument(figure2Module(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := res.Module
+	// Every conditional-branch target must land on the first
+	// instruction of an instrumented block (its probe), never inside
+	// or past one.
+	starts := map[uint32]bool{}
+	for _, d := range res.Map.DAGs {
+		for _, b := range d.Blocks {
+			starts[b.Start] = true
+		}
+	}
+	helper, _ := nm.FuncByName(HelperName)
+	for i, in := range nm.Code {
+		if uint32(i) >= helper.Entry {
+			break
+		}
+		if in.Op.IsCondBranch() || in.Op == isa.JMP {
+			if !starts[uint32(in.Imm)] {
+				t.Errorf("instruction %d (%v) targets %d, which is not a block start", i, in, in.Imm)
+			}
+		}
+	}
+}
+
+func TestCodeGrowthReasonable(t *testing.T) {
+	res, err := Instrument(figure2Module(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Stats.CodeGrowth()
+	if g <= 0 || g > 4 {
+		t.Errorf("code growth = %.2f, want within (0, 4]", g)
+	}
+}
+
+func TestHelperCodeShape(t *testing.T) {
+	code, tlsOffs := helperCode(100)
+	if code[0].Op != isa.PUSH || code[len(code)-1].Op != isa.RET {
+		t.Error("helper must save its scratch register and return")
+	}
+	foundWrap := false
+	for _, in := range code {
+		if in.Op == isa.SYS && in.Imm == isa.SysTBWrap {
+			foundWrap = true
+		}
+	}
+	if !foundWrap {
+		t.Error("helper never calls buffer_wrap")
+	}
+	for _, off := range tlsOffs {
+		op := code[off].Op
+		if op != isa.TLSLD && op != isa.TLSST {
+			t.Errorf("TLS fixup offset %d points at %v", off, op)
+		}
+	}
+}
+
+func TestInstrumentDeterministic(t *testing.T) {
+	a, err := Instrument(figure2Module(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Instrument(figure2Module(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Module.ChecksumHex() != b.Module.ChecksumHex() {
+		t.Error("instrumentation is not deterministic")
+	}
+}

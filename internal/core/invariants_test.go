@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"traceback/internal/cfg"
+	"traceback/internal/minic"
+	"traceback/internal/module"
+	"traceback/internal/tbrt"
+	"traceback/internal/trace"
+	"traceback/internal/vm"
+)
+
+// genProgram emits a random MiniC program (loops, branches, switches,
+// calls) for invariant checking.
+func genProgram(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	src := "int g[8];\n"
+	nf := r.Intn(3) + 1
+	for f := 0; f < nf; f++ {
+		src += fmt.Sprintf("int fn%d(int x) {\n", f)
+		for s := 0; s < r.Intn(5)+2; s++ {
+			switch r.Intn(5) {
+			case 0:
+				src += fmt.Sprintf("x = x * %d + g[x & 7];\n", r.Intn(9)+1)
+			case 1:
+				src += fmt.Sprintf("if (x %% %d == 0) { x = x + 1; } else { g[x & 7] = x; }\n", r.Intn(5)+2)
+			case 2:
+				src += fmt.Sprintf("for (int i = 0; i < %d; i = i + 1) { x = x + i; }\n", r.Intn(9)+1)
+			case 3:
+				src += "switch (x & 3) { case 0: x = x + 1; case 1: x = x - 1; case 2: x = x * 2; case 3: x = 0 - x; }\n"
+			case 4:
+				if f > 0 {
+					src += fmt.Sprintf("x = x + fn%d(x %% 13);\n", r.Intn(f))
+				} else {
+					src += "x = x ^ 5;\n"
+				}
+			}
+		}
+		src += "return x % 1009;\n}\n"
+	}
+	src += fmt.Sprintf("int main() { exit(fn%d(getarg()) %% 251); }\n", nf-1)
+	return src
+}
+
+// TestTilingInvariants checks, over many random programs, the
+// properties the instrumentation scheme depends on:
+//
+//  1. every cycle of the instrumented CFG contains a DAG header
+//     (so runs are bounded and loops re-record);
+//  2. DAGs partition: no block belongs to two DAGs;
+//  3. per-DAG bits are unique and within the record's bit budget;
+//  4. every DAG's probe store carries the right pre-shifted ID;
+//  5. block successor lists are topologically ordered (decode walks
+//     pick the earliest marked successor).
+func TestTilingInvariants(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		src := genProgram(seed * 311)
+		mod, err := minic.Compile("inv", "inv.mc", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		res, err := Instrument(mod, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		nm, mf := res.Module, res.Map
+
+		headerStarts := map[uint32]uint32{} // header start -> DAG id
+		blockOwner := map[uint32]uint32{}   // block start -> DAG id
+		for _, d := range mf.DAGs {
+			if len(d.Blocks) == 0 {
+				t.Fatalf("seed %d: empty DAG %d", seed, d.ID)
+			}
+			headerStarts[d.Blocks[0].Start] = d.ID
+			for bi, b := range d.Blocks {
+				if prev, dup := blockOwner[b.Start]; dup {
+					t.Fatalf("seed %d: block %d in DAGs %d and %d", seed, b.Start, prev, d.ID)
+				}
+				blockOwner[b.Start] = d.ID
+				if b.Bit >= trace.NumPathBits {
+					t.Fatalf("seed %d: bit %d out of budget", seed, b.Bit)
+				}
+				for _, s := range b.Succs {
+					if s <= bi {
+						t.Fatalf("seed %d: DAG %d successor %d not after block %d (not topological)",
+							seed, d.ID, s, bi)
+					}
+				}
+			}
+		}
+
+		// Every probe store's DAG word matches a mapfile DAG.
+		for _, fx := range nm.DAGFixups {
+			w := uint32(nm.Code[fx].Imm)
+			if !trace.IsDAG(w) {
+				t.Fatalf("seed %d: fixup not a DAG word", seed)
+			}
+			id := trace.DAGID(w) - nm.DAGBase
+			if _, ok := mf.DAGByID(id); !ok {
+				t.Fatalf("seed %d: probe writes unknown DAG %d", seed, id)
+			}
+		}
+
+		// Cycle check on the instrumented code: cutting the headers
+		// must break every cycle in every function.
+		for _, fn := range nm.Funcs {
+			if fn.Name == HelperName {
+				continue
+			}
+			g, err := cfg.Build(nm.Code, fn)
+			if err != nil {
+				t.Fatalf("seed %d: rebuilding CFG of %s: %v", seed, fn.Name, err)
+			}
+			cut := func(id int) bool {
+				_, isHeader := headerStarts[g.Blocks[id].Start]
+				return isHeader
+			}
+			if sccs := g.NontrivialSCCs(cut); len(sccs) != 0 {
+				t.Fatalf("seed %d: %s has a cycle with no DAG header: %v", seed, fn.Name, sccs)
+			}
+		}
+	}
+}
+
+// TestInstrumentPreservesBehaviorRandom: instrumentation must never
+// change program output, across random programs and inputs (the
+// execution-level check; the line-trace check lives in the
+// integration differential test).
+func TestInstrumentPreservesBehaviorRandom(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		src := genProgram(seed * 733)
+		mod, err := minic.Compile("beh", "beh.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Instrument(mod, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, arg := range []uint64{0, 7, 123} {
+			a := runExit(t, mod, arg, false)
+			b := runExit(t, res.Module, arg, true)
+			if a != b {
+				t.Fatalf("seed %d arg %d: exit %d vs %d\n%s", seed, arg, a, b, src)
+			}
+		}
+	}
+}
+
+// runExit executes a module and returns its exit code.
+func runExit(t *testing.T, m *module.Module, arg uint64, instrumented bool) int {
+	t.Helper()
+	w := vm.NewWorld(5)
+	mach := w.NewMachine("m", 0)
+	var p *vm.Process
+	var err error
+	if instrumented {
+		p, _, err = tbrt.NewProcess(mach, "x", tbrt.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		p = mach.NewProcess("x", nil)
+	}
+	if _, err := p.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StartMain(arg); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.RunProcess(p, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.FatalSignal != 0 {
+		t.Fatalf("faulted: %d", p.FatalSignal)
+	}
+	return p.ExitCode
+}

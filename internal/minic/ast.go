@@ -1,0 +1,173 @@
+package minic
+
+// AST node definitions. Every node carries the source line that
+// produced it so codegen can emit an accurate line table.
+
+type program struct {
+	globals []*globalDecl
+	externs []*externDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name string
+	size int // array element count; 1 for scalars
+	line int
+}
+
+type externDecl struct {
+	module string // "" = resolve by name anywhere
+	name   string
+	line   int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   *blockStmt
+	line   int
+}
+
+// Statements.
+
+type stmt interface{ stmtLine() int }
+
+type blockStmt struct {
+	stmts []stmt
+	line  int
+}
+
+type localDecl struct {
+	name  string
+	size  int  // element count (1 for scalars)
+	array bool // declared with [N] syntax, even when N == 1
+	init  expr
+	line  int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els stmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body stmt
+	line int
+}
+
+type forStmt struct {
+	init, post stmt // simple statements or nil
+	cond       expr // nil = true
+	body       stmt
+	line       int
+}
+
+type switchStmt struct {
+	value expr
+	cases []switchCase
+	def   []stmt
+	line  int
+}
+
+type switchCase struct {
+	val   int64
+	stmts []stmt
+	line  int
+}
+
+type returnStmt struct {
+	value expr // nil = return 0
+	line  int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type assignStmt struct {
+	target *lvalue
+	value  expr
+	line   int
+}
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+func (s *blockStmt) stmtLine() int    { return s.line }
+func (s *localDecl) stmtLine() int    { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *forStmt) stmtLine() int      { return s.line }
+func (s *switchStmt) stmtLine() int   { return s.line }
+func (s *returnStmt) stmtLine() int   { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+func (s *assignStmt) stmtLine() int   { return s.line }
+func (s *exprStmt) stmtLine() int     { return s.line }
+
+// lvalue is an assignable location: a variable or an indexed array.
+type lvalue struct {
+	name  string
+	index expr // nil for scalars
+	line  int
+}
+
+// Expressions.
+
+type expr interface{ exprLine() int }
+
+type numExpr struct {
+	v    int64
+	line int
+}
+
+type strExpr struct {
+	s    string
+	line int
+}
+
+type varExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name  string
+	index expr
+	line  int
+}
+
+type addrExpr struct { // &name: function or global address
+	name string
+	line int
+}
+
+type unaryExpr struct {
+	op   string // - ! ~
+	x    expr
+	line int
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (e *numExpr) exprLine() int   { return e.line }
+func (e *strExpr) exprLine() int   { return e.line }
+func (e *varExpr) exprLine() int   { return e.line }
+func (e *indexExpr) exprLine() int { return e.line }
+func (e *addrExpr) exprLine() int  { return e.line }
+func (e *unaryExpr) exprLine() int { return e.line }
+func (e *binExpr) exprLine() int   { return e.line }
+func (e *callExpr) exprLine() int  { return e.line }

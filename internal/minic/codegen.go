@@ -1,0 +1,418 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+
+	"traceback/internal/isa"
+	"traceback/internal/module"
+)
+
+// Compile translates MiniC source into a module. modName names the
+// module; file names the source file in the line table.
+func Compile(modName, file, src string) (*module.Module, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parse(file, toks)
+	if err != nil {
+		return nil, err
+	}
+	g := &gen{
+		file:    file,
+		mod:     &module.Module{Name: modName, Files: []string{file}},
+		globals: map[string]globalInfo{},
+		funcs:   map[string]int{},
+		externs: map[string]int{},
+	}
+	return g.program(prog)
+}
+
+// MustCompile panics on error; for registering built-in workloads.
+func MustCompile(modName, file, src string) *module.Module {
+	m, err := Compile(modName, file, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type globalInfo struct {
+	off  int32 // data offset
+	size int
+}
+
+// gen is the code generator. Named scalar locals and parameters live
+// in callee-saved registers while they last (r8..r12), then on the
+// stack frame; expression temporaries come from the caller-saved pool
+// r1..r7. This deliberately mirrors a simple compiler's output: real
+// register pressure exists, so instrumentation's liveness-driven
+// probe placement has dead registers to scavenge — and sometimes
+// doesn't (the paper's gzip spill case).
+type gen struct {
+	file string
+	mod  *module.Module
+
+	globals map[string]globalInfo
+	funcs   map[string]int // name -> function table index
+	externs map[string]int // name -> import table index
+	dataOff int32
+
+	// Per-function state.
+	fname     string
+	locals    map[string]localInfo
+	frameSize int32
+	pool      [8]bool // r1..r7 allocation (index by register number; 0 unused)
+	usedCS    map[uint8]bool
+	breaks    []*[]int // fixup lists for break targets
+	conts     []*[]int
+	epilogue  []int // fixups jumping to the epilogue
+	curLine   int
+
+	// callFix defers patching of direct-call targets until all
+	// function entry points are known.
+	callFix func(at int, target string)
+}
+
+type localInfo struct {
+	reg   int8  // callee-saved register, or -1 if on stack
+	off   int32 // FP-relative offset (negative) when on stack
+	size  int
+	array bool
+}
+
+func (g *gen) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", g.file, line, fmt.Sprintf(format, args...))
+}
+
+// emit appends an instruction, recording the line table.
+func (g *gen) emit(in isa.Instr) int {
+	idx := len(g.mod.Code)
+	g.mod.Code = append(g.mod.Code, in)
+	return idx
+}
+
+// atLine notes that subsequent instructions belong to line.
+func (g *gen) atLine(line int) {
+	if line == g.curLine || line == 0 {
+		return
+	}
+	g.curLine = line
+	g.mod.Lines = append(g.mod.Lines, module.LineEntry{
+		Index: uint32(len(g.mod.Code)), File: 0, Line: uint32(line),
+	})
+}
+
+// Temp register pool: r1..r7.
+
+func (g *gen) allocTemp(line int) (uint8, error) {
+	for r := uint8(1); r <= 7; r++ {
+		if !g.pool[r] {
+			g.pool[r] = true
+			return r, nil
+		}
+	}
+	return 0, g.errf(line, "expression too complex (temporary registers exhausted)")
+}
+
+func (g *gen) freeTemp(r uint8) {
+	if r >= 1 && r <= 7 {
+		g.pool[r] = false
+	}
+}
+
+func (g *gen) liveTemps() []uint8 {
+	var out []uint8
+	for r := uint8(1); r <= 7; r++ {
+		if g.pool[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// program generates the whole module.
+func (g *gen) program(prog *program) (*module.Module, error) {
+	// Lay out globals.
+	for _, gd := range prog.globals {
+		if _, dup := g.globals[gd.name]; dup {
+			return nil, g.errf(gd.line, "duplicate global %s", gd.name)
+		}
+		g.globals[gd.name] = globalInfo{off: g.dataOff, size: gd.size}
+		g.mod.Globals = append(g.mod.Globals, module.Global{
+			Name: gd.name, Off: uint32(g.dataOff), Size: uint32(gd.size),
+		})
+		g.dataOff += int32(gd.size) * 8
+	}
+	g.mod.Data = make([]byte, g.dataOff)
+
+	// Register externs.
+	for _, ex := range prog.externs {
+		if _, dup := g.externs[ex.name]; dup {
+			continue
+		}
+		g.externs[ex.name] = len(g.mod.Imports)
+		g.mod.Imports = append(g.mod.Imports, module.Import{Module: ex.module, Name: ex.name})
+	}
+
+	// Pre-register function table indexes (for LDFN and direct calls;
+	// entries are patched once bodies are placed).
+	for i, fn := range prog.funcs {
+		if _, dup := g.funcs[fn.name]; dup {
+			return nil, g.errf(fn.line, "duplicate function %s", fn.name)
+		}
+		g.funcs[fn.name] = i
+		g.mod.Funcs = append(g.mod.Funcs, module.Func{Name: fn.name, Exported: true})
+	}
+
+	type callFix struct {
+		at     int
+		target string
+	}
+	var callFixes []callFix
+	g.callFix = func(at int, target string) {
+		callFixes = append(callFixes, callFix{at, target})
+	}
+
+	for i, fn := range prog.funcs {
+		entry := uint32(len(g.mod.Code))
+		if err := g.function(fn); err != nil {
+			return nil, err
+		}
+		g.mod.Funcs[i].Entry = entry
+		g.mod.Funcs[i].End = uint32(len(g.mod.Code))
+	}
+
+	// Patch direct calls now that every entry is known.
+	for _, cf := range callFixes {
+		fi, ok := g.funcs[cf.target]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined function %s", g.file, cf.target)
+		}
+		g.mod.Code[cf.at].Imm = int32(g.mod.Funcs[fi].Entry)
+	}
+	if err := g.mod.Validate(); err != nil {
+		return nil, fmt.Errorf("minic internal error: %w", err)
+	}
+	return g.mod, nil
+}
+
+func (g *gen) function(fn *funcDecl) error {
+	g.fname = fn.name
+	g.locals = map[string]localInfo{}
+	g.frameSize = 0
+	g.pool = [8]bool{}
+	g.usedCS = map[uint8]bool{}
+	g.breaks = nil
+	g.conts = nil
+	g.epilogue = nil
+	g.curLine = 0
+	g.atLine(fn.line)
+
+	// Scan the body for scalar locals eligible for callee-saved
+	// registers (arrays always live on the stack).
+	scalars := []string{}
+	counts := map[string]int{}
+	collectLocals(fn.body, func(d *localDecl) {
+		if !d.array {
+			scalars = append(scalars, d.name)
+		}
+	})
+	countUses(fn.body, counts)
+	for _, p := range fn.params {
+		scalars = append(scalars, p)
+	}
+	sort.SliceStable(scalars, func(i, j int) bool {
+		return counts[scalars[i]] > counts[scalars[j]]
+	})
+	regFor := map[string]int8{}
+	nextCS := int8(8)
+	for _, name := range scalars {
+		if nextCS > 12 {
+			break
+		}
+		if _, taken := regFor[name]; taken {
+			continue
+		}
+		regFor[name] = nextCS
+		g.usedCS[uint8(nextCS)] = true
+		nextCS++
+	}
+
+	// Prologue: save FP, set frame, save callee-saved registers we
+	// will use, then home the parameters.
+	g.emit(isa.Instr{Op: isa.PUSH, A: isa.FP})
+	g.emit(isa.Instr{Op: isa.MOV, A: isa.FP, B: isa.SP})
+	frameFix := g.emit(isa.Instr{Op: isa.ADDI, A: isa.SP, B: isa.SP, Imm: 0})
+	var csRegs []uint8
+	for r := uint8(8); r <= 12; r++ {
+		if g.usedCS[r] {
+			csRegs = append(csRegs, r)
+			g.emit(isa.Instr{Op: isa.PUSH, A: r})
+		}
+	}
+	for i, pname := range fn.params {
+		if r, ok := regFor[pname]; ok {
+			g.locals[pname] = localInfo{reg: r, size: 1}
+			g.emit(isa.Instr{Op: isa.MOV, A: uint8(r), B: uint8(isa.A1 + i)})
+		} else {
+			off := g.allocStack(1)
+			g.locals[pname] = localInfo{reg: -1, off: off, size: 1}
+			g.emit(isa.Instr{Op: isa.ST, A: isa.FP, B: uint8(isa.A1 + i), Imm: off})
+		}
+	}
+	// Pre-declare register homes for scalar locals (value assigned at
+	// their declaration).
+	collectLocals(fn.body, func(d *localDecl) {
+		if !d.array {
+			if r, ok := regFor[d.name]; ok {
+				if _, exists := g.locals[d.name]; !exists {
+					g.locals[d.name] = localInfo{reg: r, size: 1}
+				}
+			}
+		}
+	})
+
+	if err := g.block(fn.body); err != nil {
+		return err
+	}
+
+	// Implicit "return 0" and the epilogue.
+	g.emit(isa.Instr{Op: isa.MOVI, A: isa.RV, Imm: 0})
+	epi := len(g.mod.Code)
+	for _, at := range g.epilogue {
+		g.mod.Code[at].Imm = int32(epi)
+	}
+	for i := len(csRegs) - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.POP, A: csRegs[i]})
+	}
+	g.emit(isa.Instr{Op: isa.MOV, A: isa.SP, B: isa.FP})
+	g.emit(isa.Instr{Op: isa.POP, A: isa.FP})
+	g.emit(isa.Instr{Op: isa.RET})
+
+	// Patch the frame-size reservation. Keep the stack 16-aligned.
+	size := (g.frameSize + 15) &^ 15
+	g.mod.Code[frameFix].Imm = -size
+	// Callee-saved pushes happen after the frame cut, so stack refs
+	// are FP-relative and unaffected.
+	return nil
+}
+
+func (g *gen) allocStack(words int) int32 {
+	g.frameSize += int32(words) * 8
+	return -g.frameSize
+}
+
+func collectLocals(s stmt, f func(*localDecl)) {
+	switch st := s.(type) {
+	case *blockStmt:
+		for _, c := range st.stmts {
+			collectLocals(c, f)
+		}
+	case *localDecl:
+		f(st)
+	case *ifStmt:
+		collectLocals(st.then, f)
+		if st.els != nil {
+			collectLocals(st.els, f)
+		}
+	case *whileStmt:
+		collectLocals(st.body, f)
+	case *forStmt:
+		if st.init != nil {
+			collectLocals(st.init, f)
+		}
+		if st.post != nil {
+			collectLocals(st.post, f)
+		}
+		collectLocals(st.body, f)
+	case *switchStmt:
+		for _, c := range st.cases {
+			for _, cs := range c.stmts {
+				collectLocals(cs, f)
+			}
+		}
+		for _, cs := range st.def {
+			collectLocals(cs, f)
+		}
+	}
+}
+
+func countUses(s stmt, counts map[string]int) {
+	var walkE func(e expr)
+	walkE = func(e expr) {
+		switch ex := e.(type) {
+		case *varExpr:
+			counts[ex.name]++
+		case *indexExpr:
+			counts[ex.name]++
+			walkE(ex.index)
+		case *unaryExpr:
+			walkE(ex.x)
+		case *binExpr:
+			walkE(ex.l)
+			walkE(ex.r)
+		case *callExpr:
+			for _, a := range ex.args {
+				walkE(a)
+			}
+		}
+	}
+	var walkS func(s stmt)
+	walkS = func(s stmt) {
+		switch st := s.(type) {
+		case *blockStmt:
+			for _, c := range st.stmts {
+				walkS(c)
+			}
+		case *localDecl:
+			if st.init != nil {
+				walkE(st.init)
+			}
+		case *ifStmt:
+			walkE(st.cond)
+			walkS(st.then)
+			if st.els != nil {
+				walkS(st.els)
+			}
+		case *whileStmt:
+			walkE(st.cond)
+			walkS(st.body)
+		case *forStmt:
+			if st.init != nil {
+				walkS(st.init)
+			}
+			if st.cond != nil {
+				walkE(st.cond)
+			}
+			if st.post != nil {
+				walkS(st.post)
+			}
+			walkS(st.body)
+		case *switchStmt:
+			walkE(st.value)
+			for _, c := range st.cases {
+				for _, cs := range c.stmts {
+					walkS(cs)
+				}
+			}
+			for _, cs := range st.def {
+				walkS(cs)
+			}
+		case *returnStmt:
+			if st.value != nil {
+				walkE(st.value)
+			}
+		case *assignStmt:
+			counts[st.target.name] += 2
+			if st.target.index != nil {
+				walkE(st.target.index)
+			}
+			walkE(st.value)
+		case *exprStmt:
+			walkE(st.e)
+		}
+	}
+	walkS(s)
+}

@@ -1,0 +1,419 @@
+package minic
+
+import (
+	"traceback/internal/isa"
+)
+
+// expr generates code for e and returns the temp register holding the
+// result. The caller frees it.
+func (g *gen) expr(e expr) (uint8, error) {
+	switch ex := e.(type) {
+	case *numExpr:
+		if ex.v < -(1<<31) || ex.v >= 1<<31 {
+			return 0, g.errf(ex.line, "constant %d out of 32-bit immediate range", ex.v)
+		}
+		r, err := g.allocTemp(ex.line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.MOVI, A: r, Imm: int32(ex.v)})
+		return r, nil
+
+	case *strExpr:
+		// A string literal evaluates to its data address; its length
+		// is available via len("...") — handled in callExpr — or by
+		// convention (builtins that take a string take addr+len
+		// pairs, which the compiler expands).
+		addr := g.internString(ex.s)
+		r, err := g.allocTemp(ex.line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.GADDR, A: r, Imm: addr})
+		return r, nil
+
+	case *varExpr:
+		return g.loadScalar(ex.name, ex.line)
+
+	case *indexExpr:
+		addr, err := g.elemAddr(ex.name, ex.index, ex.line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.LD, A: addr, B: addr})
+		return addr, nil
+
+	case *addrExpr:
+		r, err := g.allocTemp(ex.line)
+		if err != nil {
+			return 0, err
+		}
+		if li, ok := g.locals[ex.name]; ok {
+			if li.reg >= 0 {
+				return 0, g.errf(ex.line, "&%s: variable lives in a register", ex.name)
+			}
+			g.emit(isa.Instr{Op: isa.ADDI, A: r, B: isa.FP, Imm: li.off})
+			return r, nil
+		}
+		if fi, ok := g.funcs[ex.name]; ok {
+			g.emit(isa.Instr{Op: isa.LDFN, A: r, Imm: int32(fi)})
+			return r, nil
+		}
+		if gi, ok := g.globals[ex.name]; ok {
+			g.emit(isa.Instr{Op: isa.GADDR, A: r, Imm: gi.off})
+			return r, nil
+		}
+		return 0, g.errf(ex.line, "&%s: no such variable, function, or global", ex.name)
+
+	case *unaryExpr:
+		x, err := g.expr(ex.x)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.op {
+		case "-":
+			g.emit(isa.Instr{Op: isa.NEG, A: x, B: x})
+		case "~":
+			g.emit(isa.Instr{Op: isa.NOT, A: x, B: x})
+		case "!":
+			z, err := g.allocTemp(ex.line)
+			if err != nil {
+				return 0, err
+			}
+			g.emit(isa.Instr{Op: isa.MOVI, A: z, Imm: 0})
+			g.emit(isa.Instr{Op: isa.CMPEQ, A: x, B: x, C: z})
+			g.freeTemp(z)
+		}
+		return x, nil
+
+	case *binExpr:
+		return g.binExpr(ex)
+
+	case *callExpr:
+		return g.call(ex)
+	}
+	return 0, g.errf(e.exprLine(), "unhandled expression")
+}
+
+func (g *gen) binExpr(ex *binExpr) (uint8, error) {
+	// Short-circuit forms.
+	if ex.op == "&&" || ex.op == "||" {
+		l, err := g.expr(ex.l)
+		if err != nil {
+			return 0, err
+		}
+		// Normalize to 0/1.
+		g.normBool(l, ex.line)
+		var jShort int
+		if ex.op == "&&" {
+			jShort = g.emit(isa.Instr{Op: isa.BEQI, A: l, C: 0})
+		} else {
+			jShort = g.emit(isa.Instr{Op: isa.BNEI, A: l, C: 0})
+		}
+		r, err := g.expr(ex.r)
+		if err != nil {
+			return 0, err
+		}
+		g.normBool(r, ex.line)
+		g.emit(isa.Instr{Op: isa.MOV, A: l, B: r})
+		g.freeTemp(r)
+		g.mod.Code[jShort].Imm = int32(len(g.mod.Code))
+		return l, nil
+	}
+
+	l, err := g.expr(ex.l)
+	if err != nil {
+		return 0, err
+	}
+	r, err := g.expr(ex.r)
+	if err != nil {
+		return 0, err
+	}
+	defer g.freeTemp(r)
+	var op isa.Op
+	swap := false
+	switch ex.op {
+	case "+":
+		op = isa.ADD
+	case "-":
+		op = isa.SUB
+	case "*":
+		op = isa.MUL
+	case "/":
+		op = isa.DIV
+	case "%":
+		op = isa.MOD
+	case "&":
+		op = isa.AND
+	case "|":
+		op = isa.OR
+	case "^":
+		op = isa.XOR
+	case "<<":
+		op = isa.SHL
+	case ">>":
+		op = isa.SHR
+	case "==":
+		op = isa.CMPEQ
+	case "!=":
+		op = isa.CMPNE
+	case "<":
+		op = isa.CMPLT
+	case "<=":
+		op = isa.CMPLE
+	case ">":
+		op, swap = isa.CMPLT, true
+	case ">=":
+		op, swap = isa.CMPLE, true
+	default:
+		return 0, g.errf(ex.line, "unhandled operator %q", ex.op)
+	}
+	if swap {
+		g.emit(isa.Instr{Op: op, A: l, B: r, C: l})
+	} else {
+		g.emit(isa.Instr{Op: op, A: l, B: l, C: r})
+	}
+	return l, nil
+}
+
+// normBool clamps a value to 0/1 (x != 0).
+func (g *gen) normBool(x uint8, line int) {
+	z, err := g.allocTemp(line)
+	if err != nil {
+		// Pool exhaustion here is impossible in practice: normBool is
+		// called with at most two temps live.
+		return
+	}
+	g.emit(isa.Instr{Op: isa.MOVI, A: z, Imm: 0})
+	g.emit(isa.Instr{Op: isa.CMPNE, A: x, B: x, C: z})
+	g.freeTemp(z)
+}
+
+// internString places a literal in the data segment, returning its
+// offset.
+func (g *gen) internString(s string) int32 {
+	off := int32(len(g.mod.Data))
+	g.mod.Data = append(g.mod.Data, s...)
+	// Pad to 8 bytes so later globals stay aligned (none are added
+	// after strings, but allocs should stay tidy).
+	for len(g.mod.Data)%8 != 0 {
+		g.mod.Data = append(g.mod.Data, 0)
+	}
+	return off
+}
+
+// Builtins mapping to syscalls. Each entry lists the syscall number
+// and argument count; string arguments expand to (addr, len) pairs.
+var builtins = map[string]struct {
+	sys  int
+	args int
+}{
+	"exit":          {isa.SysExit, 1},
+	"rand":          {isa.SysRand, 0},
+	"clock":         {isa.SysClock, 0},
+	"sleep":         {isa.SysSleep, 1},
+	"alloc":         {isa.SysAlloc, 1},
+	"memcpy":        {isa.SysMemcpy, 3},
+	"tid":           {isa.SysGetTID, 0},
+	"getarg":        {isa.SysGetArg, 0},
+	"yield":         {isa.SysYield, 0},
+	"raise":         {isa.SysRaise, 1},
+	"signal":        {isa.SysSignal, 2},
+	"thread_create": {isa.SysThreadCreate, 2},
+	"join":          {isa.SysThreadJoin, 1},
+	"mutex_lock":    {isa.SysMutexLock, 1},
+	"mutex_unlock":  {isa.SysMutexUnlock, 1},
+	"kill":          {isa.SysKill, 2},
+	"ioread":        {isa.SysIORead, 1},
+	"iowrite":       {isa.SysIOWrite, 1},
+	"netsend":       {isa.SysNetSend, 1},
+	"rpc_call":      {isa.SysRPCCall, 4},
+	"rpc_recv":      {isa.SysRPCRecv, 3},
+	"rpc_reply":     {isa.SysRPCReply, 4},
+}
+
+// call generates a call: a builtin (syscall), a peek/poke intrinsic,
+// a direct call to a module function, or a cross-module extern call.
+func (g *gen) call(ex *callExpr) (uint8, error) {
+	switch ex.name {
+	case "peek":
+		if len(ex.args) != 1 {
+			return 0, g.errf(ex.line, "peek takes 1 argument")
+		}
+		a, err := g.expr(ex.args[0])
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.LD, A: a, B: a})
+		return a, nil
+	case "poke":
+		if len(ex.args) != 2 {
+			return 0, g.errf(ex.line, "poke takes 2 arguments")
+		}
+		a, err := g.expr(ex.args[0])
+		if err != nil {
+			return 0, err
+		}
+		v, err := g.expr(ex.args[1])
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.ST, A: a, B: v})
+		g.freeTemp(v)
+		g.emit(isa.Instr{Op: isa.MOVI, A: a, Imm: 0})
+		return a, nil
+	case "len":
+		s, ok := ex.args[0].(*strExpr)
+		if len(ex.args) != 1 || !ok {
+			return 0, g.errf(ex.line, "len takes one string literal")
+		}
+		r, err := g.allocTemp(ex.line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.MOVI, A: r, Imm: int32(len(s.s))})
+		return r, nil
+	case "print", "snap", "load_module":
+		// Builtins taking one string literal, expanded to (addr, len).
+		if len(ex.args) == 1 {
+			if s, ok := ex.args[0].(*strExpr); ok {
+				var sys int
+				var args []expr
+				strLen := &numExpr{v: int64(len(s.s)), line: ex.line}
+				switch ex.name {
+				case "print":
+					sys = isa.SysWrite
+					args = []expr{&numExpr{v: 1, line: ex.line}, ex.args[0], strLen}
+				case "snap":
+					sys = isa.SysSnap
+					args = []expr{ex.args[0], strLen}
+				case "load_module":
+					sys = isa.SysLoadModule
+					args = []expr{ex.args[0], strLen}
+				}
+				return g.syscall(sys, args, ex.line)
+			}
+		}
+		return 0, g.errf(ex.line, "%s takes one string literal", ex.name)
+	case "print_int":
+		if len(ex.args) != 1 {
+			return 0, g.errf(ex.line, "print_int takes 1 argument")
+		}
+		return g.syscall(isa.SysPrintInt, ex.args, ex.line)
+	}
+	if b, ok := builtins[ex.name]; ok {
+		if len(ex.args) != b.args {
+			return 0, g.errf(ex.line, "%s takes %d argument(s), got %d", ex.name, b.args, len(ex.args))
+		}
+		return g.syscall(b.sys, ex.args, ex.line)
+	}
+
+	// Real calls: evaluate args to the stack, save live temps, pop
+	// args into r1..r4, call, fetch r0.
+	if len(ex.args) > 4 {
+		return 0, g.errf(ex.line, "call to %s: max 4 arguments", ex.name)
+	}
+	_, isLocal := g.funcs[ex.name]
+	impIdx, isExtern := g.externs[ex.name]
+	isIndirect := false
+	if !isLocal && !isExtern {
+		// Calling through a scalar holding a function address?
+		if _, ok := g.locals[ex.name]; ok {
+			isIndirect = true
+		} else if _, ok := g.globals[ex.name]; ok {
+			isIndirect = true
+		} else {
+			return 0, g.errf(ex.line, "undefined function %s", ex.name)
+		}
+	}
+
+	// Save live temps (freed for the duration).
+	live := g.liveTemps()
+	for _, r := range live {
+		g.emit(isa.Instr{Op: isa.PUSH, A: r})
+		g.freeTemp(r)
+	}
+	// Evaluate arguments left to right onto the stack.
+	for _, a := range ex.args {
+		r, err := g.expr(a)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.PUSH, A: r})
+		g.freeTemp(r)
+	}
+	var target uint8
+	if isIndirect {
+		tr, err := g.loadScalar(ex.name, ex.line)
+		if err != nil {
+			return 0, err
+		}
+		// Hold the target in a callee-visible place across arg pops:
+		// it is a temp in r1..r7 which the pops below may overwrite.
+		// Pops target r1..rN; allocate the temp after them instead:
+		// move it to the stack and restore into a high temp.
+		g.emit(isa.Instr{Op: isa.PUSH, A: tr})
+		g.freeTemp(tr)
+		target = 7
+	}
+	if isIndirect {
+		g.emit(isa.Instr{Op: isa.POP, A: target})
+	}
+	for i := len(ex.args) - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.POP, A: uint8(isa.A1 + i)})
+	}
+	switch {
+	case isLocal:
+		at := g.emit(isa.Instr{Op: isa.CALL})
+		g.callFix(at, ex.name)
+	case isExtern:
+		g.emit(isa.Instr{Op: isa.CALX, Imm: int32(impIdx)})
+	default:
+		g.emit(isa.Instr{Op: isa.CALR, A: target})
+	}
+	// Restore live temps, then claim the result.
+	for i := len(live) - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.POP, A: live[i]})
+		g.pool[live[i]] = true
+	}
+	res, err := g.allocTemp(ex.line)
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: isa.MOV, A: res, B: isa.RV})
+	return res, nil
+}
+
+// syscall evaluates args into r1..rN and emits SYS.
+func (g *gen) syscall(num int, args []expr, line int) (uint8, error) {
+	if len(args) > 4 {
+		return 0, g.errf(line, "syscall takes at most 4 arguments")
+	}
+	live := g.liveTemps()
+	for _, r := range live {
+		g.emit(isa.Instr{Op: isa.PUSH, A: r})
+		g.freeTemp(r)
+	}
+	for _, a := range args {
+		r, err := g.expr(a)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.PUSH, A: r})
+		g.freeTemp(r)
+	}
+	for i := len(args) - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.POP, A: uint8(isa.A1 + i)})
+	}
+	g.emit(isa.Instr{Op: isa.SYS, Imm: int32(num)})
+	for i := len(live) - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.POP, A: live[i]})
+		g.pool[live[i]] = true
+	}
+	res, err := g.allocTemp(line)
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: isa.MOV, A: res, B: isa.RV})
+	return res, nil
+}

@@ -1,0 +1,201 @@
+// Package minic implements MiniC, the small C-like language the
+// workload programs are written in. It stands in for the paper's
+// VC7.1/gcc toolchain: programs compile to ISA modules with accurate
+// source line tables, so reconstruction displays their real source.
+//
+// The language: 64-bit ints, global and local scalars and arrays,
+// functions (up to 4 parameters), if/else, while, for, switch (dense
+// cases become jump tables), break/continue, short-circuit && and ||,
+// function addresses (&f), and builtins that map onto the platform's
+// syscalls (print, exit, rand, clock, sleep, alloc, memcpy, peek,
+// poke, mutexes, threads, RPC, snap, I/O cost hooks).
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum
+	tStr
+	tPunct
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "switch": true,
+	"case": true, "default": true, "extern": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	file string
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{src: src, line: 1, file: file}
+}
+
+func (lx *lexer) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", lx.file, line, fmt.Sprintf(format, args...))
+}
+
+// next scans one token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				lx.pos++
+			}
+			if lx.pos+1 >= len(lx.src) {
+				return token{}, lx.errf(lx.line, "unterminated comment")
+			}
+			lx.pos += 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: lx.line}, nil
+
+scan:
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for lx.pos < len(lx.src) && (isIdentChar(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		k := tIdent
+		if keywords[text] {
+			k = tKeyword
+		}
+		return token{kind: k, text: text, line: lx.line}, nil
+	case c >= '0' && c <= '9':
+		base := int64(10)
+		if strings.HasPrefix(lx.src[lx.pos:], "0x") || strings.HasPrefix(lx.src[lx.pos:], "0X") {
+			base = 16
+			lx.pos += 2
+			start = lx.pos
+		}
+		var v int64
+		for lx.pos < len(lx.src) {
+			d := digitVal(lx.src[lx.pos])
+			if d < 0 || int64(d) >= base {
+				break
+			}
+			v = v*base + int64(d)
+			lx.pos++
+		}
+		if lx.pos == start {
+			return token{}, lx.errf(lx.line, "malformed number")
+		}
+		return token{kind: tNum, num: v, line: lx.line}, nil
+	case c == '"':
+		lx.pos++
+		var sb strings.Builder
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+			ch := lx.src[lx.pos]
+			if ch == '\n' {
+				return token{}, lx.errf(lx.line, "newline in string literal")
+			}
+			if ch == '\\' && lx.pos+1 < len(lx.src) {
+				lx.pos++
+				switch lx.src[lx.pos] {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				case '\\':
+					ch = '\\'
+				case '"':
+					ch = '"'
+				default:
+					return token{}, lx.errf(lx.line, "bad escape \\%c", lx.src[lx.pos])
+				}
+			}
+			sb.WriteByte(ch)
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errf(lx.line, "unterminated string")
+		}
+		lx.pos++
+		return token{kind: tStr, text: sb.String(), line: lx.line}, nil
+	default:
+		for _, p := range []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"} {
+			if strings.HasPrefix(lx.src[lx.pos:], p) {
+				lx.pos += 2
+				return token{kind: tPunct, text: p, line: lx.line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%&|^~!<>=(){}[];,:", rune(c)) {
+			lx.pos++
+			return token{kind: tPunct, text: string(c), line: lx.line}, nil
+		}
+		return token{}, lx.errf(lx.line, "unexpected character %q", c)
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// lexAll scans the whole source.
+func lexAll(file, src string) ([]token, error) {
+	lx := newLexer(file, src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package minic
+
+import (
+	"fmt"
+
+	"traceback/internal/mvm"
+)
+
+// CompileManaged compiles MiniC source for the MANAGED runtime — the
+// paper's MSIL path (§3.3): the same source technology produces
+// intermediate code instead of native code, sharing a process with
+// native modules. Semantics differ exactly where managed platforms
+// differ:
+//
+//   - globals become static fields, arrays become bounds-checked
+//     managed arrays (out-of-range indexes throw
+//     ArrayIndexOutOfBoundsException instead of corrupting memory);
+//   - division by zero throws ArithmeticException; sleep(<0) throws
+//     IllegalArgumentException;
+//   - raw-memory builtins (peek/poke/memcpy, &var) are compile
+//     errors: managed code is type-safe;
+//   - `extern "module" int fn(...)` declares a JNI-style native
+//     binding invoked through the cross-runtime bridge.
+func CompileManaged(modName, file, src string) (*mvm.Module, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parse(file, toks)
+	if err != nil {
+		return nil, err
+	}
+	g := &mgen{
+		file:    file,
+		b:       mvm.NewBuilder(modName, file),
+		statics: map[string]mstatic{},
+		methods: map[string]int{},
+		natives: map[string]int{},
+	}
+	return g.program(prog)
+}
+
+type mstatic struct {
+	slot  int
+	array bool
+	size  int
+}
+
+type mgen struct {
+	file string
+	b    *mvm.Builder
+
+	statics    map[string]mstatic
+	methods    map[string]int
+	natives    map[string]int
+	nativeMods []*externDecl
+
+	// Per-method state.
+	mb        *mvm.MethodBuilder
+	locals    map[string]int
+	localIsAr map[string]bool
+	nextLocal int
+	labelN    int
+	breaks    []string
+	conts     []string
+	fname     string
+}
+
+func (g *mgen) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", g.file, line, fmt.Sprintf(format, args...))
+}
+
+func (g *mgen) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf("%s%d", prefix, g.labelN)
+}
+
+func (g *mgen) program(prog *program) (*mvm.Module, error) {
+	// Statics (globals). Arrays get a slot holding the array ref,
+	// allocated by a synthetic <clinit> run at the start of main.
+	var names []string
+	for _, gd := range prog.globals {
+		if _, dup := g.statics[gd.name]; dup {
+			return nil, g.errf(gd.line, "duplicate global %s", gd.name)
+		}
+		g.statics[gd.name] = mstatic{slot: len(names), array: gd.size > 1 || gdIsArray(gd), size: gd.size}
+		names = append(names, gd.name)
+	}
+
+	for _, ex := range prog.externs {
+		if _, dup := g.natives[ex.name]; dup {
+			continue
+		}
+		// Arity is recovered at the call site; bindings are
+		// registered lazily there (the extern's parameter list is
+		// skipped by the parser).
+		g.natives[ex.name] = -1 // placeholder; bound on first call
+		g.nativeMods = append(g.nativeMods, ex)
+	}
+
+	// Pre-register methods for forward calls.
+	for i, fn := range prog.funcs {
+		if _, dup := g.methods[fn.name]; dup {
+			return nil, g.errf(fn.line, "duplicate function %s", fn.name)
+		}
+		g.methods[fn.name] = i
+	}
+
+	g.b.SetStatics(names)
+	for _, fn := range prog.funcs {
+		if err := g.function(fn, prog); err != nil {
+			return nil, err
+		}
+	}
+	mod, err := g.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("minic managed backend: %w", err)
+	}
+	return mod, nil
+}
+
+func gdIsArray(gd *globalDecl) bool { return gd.size != 1 }
+
+func (g *mgen) function(fn *funcDecl, prog *program) error {
+	g.locals = map[string]int{}
+	g.localIsAr = map[string]bool{}
+	g.nextLocal = 0
+	g.breaks, g.conts = nil, nil
+	g.fname = fn.name
+
+	// Count locals: params + declared locals.
+	nLocals := len(fn.params)
+	collectLocals(fn.body, func(d *localDecl) { nLocals++ })
+	g.mb = g.b.Method(fn.name, len(fn.params), nLocals+2) // + scratch
+	g.mb.Line(fn.line)
+	for _, p := range fn.params {
+		g.locals[p] = g.nextLocal
+		g.nextLocal++
+	}
+
+	// main allocates the static arrays first (the <clinit> analog).
+	if fn.name == "main" {
+		for _, gd := range prog.globals {
+			st := g.statics[gd.name]
+			if st.array {
+				g.mb.I(mvm.CONST, int32(st.size)).I(mvm.NEWARR).I(mvm.SSTORE, int32(st.slot), 0)
+			}
+		}
+	}
+
+	if err := g.block(fn.body); err != nil {
+		return err
+	}
+	g.mb.Line(fn.line).I(mvm.CONST, 0).I(mvm.RET)
+	g.mb.Done()
+	return nil
+}
+
+func (g *mgen) block(b *blockStmt) error {
+	for _, s := range b.stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *mgen) stmt(s stmt) error {
+	g.mb.Line(s.stmtLine())
+	switch st := s.(type) {
+	case *blockStmt:
+		return g.block(st)
+
+	case *localDecl:
+		slot := g.nextLocal
+		g.nextLocal++
+		g.locals[st.name] = slot
+		if st.array {
+			g.localIsAr[st.name] = true
+			g.mb.I(mvm.CONST, int32(st.size)).I(mvm.NEWARR).I(mvm.STOREL, int32(slot), 0)
+			return nil
+		}
+		if st.init != nil {
+			if err := g.expr(st.init); err != nil {
+				return err
+			}
+			g.mb.I(mvm.STOREL, int32(slot), 0)
+		}
+		return nil
+
+	case *assignStmt:
+		if st.target.index != nil {
+			if err := g.pushRef(st.target.name, st.line); err != nil {
+				return err
+			}
+			if err := g.expr(st.target.index); err != nil {
+				return err
+			}
+			if err := g.expr(st.value); err != nil {
+				return err
+			}
+			g.mb.I(mvm.ASTORE)
+			return nil
+		}
+		if err := g.expr(st.value); err != nil {
+			return err
+		}
+		return g.storeScalar(st.target.name, st.line)
+
+	case *ifStmt:
+		els, end := g.label("else"), g.label("end")
+		if err := g.expr(st.cond); err != nil {
+			return err
+		}
+		g.mb.Br(mvm.IFZ, els)
+		if err := g.stmt(st.then); err != nil {
+			return err
+		}
+		g.mb.Br(mvm.GOTO, end)
+		g.mb.Label(els)
+		if st.els != nil {
+			if err := g.stmt(st.els); err != nil {
+				return err
+			}
+		}
+		g.mb.Label(end)
+		return nil
+
+	case *whileStmt:
+		top, end := g.label("while"), g.label("wend")
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, top)
+		g.mb.Label(top)
+		if err := g.expr(st.cond); err != nil {
+			return err
+		}
+		g.mb.Br(mvm.IFZ, end)
+		if err := g.stmt(st.body); err != nil {
+			return err
+		}
+		g.mb.Br(mvm.GOTO, top)
+		g.mb.Label(end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+
+	case *forStmt:
+		if st.init != nil {
+			if err := g.stmt(st.init); err != nil {
+				return err
+			}
+		}
+		top, post, end := g.label("for"), g.label("fpost"), g.label("fend")
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, post)
+		g.mb.Label(top)
+		if st.cond != nil {
+			if err := g.expr(st.cond); err != nil {
+				return err
+			}
+			g.mb.Br(mvm.IFZ, end)
+		}
+		if err := g.stmt(st.body); err != nil {
+			return err
+		}
+		g.mb.Label(post)
+		if st.post != nil {
+			g.mb.Line(st.line)
+			if err := g.stmt(st.post); err != nil {
+				return err
+			}
+		}
+		g.mb.Br(mvm.GOTO, top)
+		g.mb.Label(end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+
+	case *switchStmt:
+		// Managed backend lowers every switch to an if-chain.
+		end := g.label("swend")
+		g.breaks = append(g.breaks, end)
+		scratch := g.nextLocal // reuse the scratch slot
+		if err := g.expr(st.value); err != nil {
+			return err
+		}
+		g.mb.I(mvm.STOREL, int32(scratch), 0)
+		var caseLabels []string
+		for range st.cases {
+			caseLabels = append(caseLabels, g.label("case"))
+		}
+		def := g.label("default")
+		for i, c := range st.cases {
+			g.mb.I(mvm.LOADL, int32(scratch), 0).I(mvm.CONST, int32(c.val)).I(mvm.CMPEQ)
+			g.mb.Br(mvm.IFNZ, caseLabels[i])
+		}
+		g.mb.Br(mvm.GOTO, def)
+		for i, c := range st.cases {
+			g.mb.Label(caseLabels[i])
+			g.mb.Line(c.line)
+			for _, cs := range c.stmts {
+				if err := g.stmt(cs); err != nil {
+					return err
+				}
+			}
+			g.mb.Br(mvm.GOTO, end)
+		}
+		g.mb.Label(def)
+		for _, cs := range st.def {
+			if err := g.stmt(cs); err != nil {
+				return err
+			}
+		}
+		g.mb.Label(end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		return nil
+
+	case *returnStmt:
+		if st.value != nil {
+			if err := g.expr(st.value); err != nil {
+				return err
+			}
+		} else {
+			g.mb.I(mvm.CONST, 0)
+		}
+		g.mb.I(mvm.RET)
+		return nil
+
+	case *breakStmt:
+		if len(g.breaks) == 0 {
+			return g.errf(st.line, "break outside loop/switch")
+		}
+		g.mb.Br(mvm.GOTO, g.breaks[len(g.breaks)-1])
+		return nil
+
+	case *continueStmt:
+		if len(g.conts) == 0 {
+			return g.errf(st.line, "continue outside loop")
+		}
+		g.mb.Br(mvm.GOTO, g.conts[len(g.conts)-1])
+		return nil
+
+	case *exprStmt:
+		if err := g.expr(st.e); err != nil {
+			return err
+		}
+		g.mb.I(mvm.POP)
+		return nil
+	}
+	return g.errf(s.stmtLine(), "unhandled statement in managed backend")
+}
+
+func (g *mgen) pushRef(name string, line int) error {
+	if slot, ok := g.locals[name]; ok {
+		g.mb.I(mvm.LOADL, int32(slot), 0)
+		return nil
+	}
+	if st, ok := g.statics[name]; ok {
+		g.mb.I(mvm.SLOAD, int32(st.slot), 0)
+		return nil
+	}
+	return g.errf(line, "undefined array %s", name)
+}
+
+func (g *mgen) storeScalar(name string, line int) error {
+	if slot, ok := g.locals[name]; ok {
+		g.mb.I(mvm.STOREL, int32(slot), 0)
+		return nil
+	}
+	if st, ok := g.statics[name]; ok {
+		g.mb.I(mvm.SSTORE, int32(st.slot), 0)
+		return nil
+	}
+	return g.errf(line, "undefined variable %s", name)
+}

@@ -1,0 +1,273 @@
+package minic
+
+import (
+	"traceback/internal/mvm"
+)
+
+// Managed-backend expression codegen: plain stack discipline.
+func (g *mgen) expr(e expr) error {
+	switch ex := e.(type) {
+	case *numExpr:
+		if ex.v < -(1<<31) || ex.v >= 1<<31 {
+			return g.errf(ex.line, "constant %d out of range", ex.v)
+		}
+		g.mb.I(mvm.CONST, int32(ex.v))
+		return nil
+
+	case *strExpr:
+		return g.errf(ex.line, "string values are only allowed in print()")
+
+	case *varExpr:
+		if slot, ok := g.locals[ex.name]; ok {
+			g.mb.I(mvm.LOADL, int32(slot), 0)
+			return nil
+		}
+		if st, ok := g.statics[ex.name]; ok {
+			g.mb.I(mvm.SLOAD, int32(st.slot), 0)
+			return nil
+		}
+		return g.errf(ex.line, "undefined variable %s", ex.name)
+
+	case *indexExpr:
+		if err := g.pushRef(ex.name, ex.line); err != nil {
+			return err
+		}
+		if err := g.expr(ex.index); err != nil {
+			return err
+		}
+		g.mb.I(mvm.ALOAD)
+		return nil
+
+	case *addrExpr:
+		return g.errf(ex.line, "&%s: managed code cannot take addresses", ex.name)
+
+	case *unaryExpr:
+		if err := g.expr(ex.x); err != nil {
+			return err
+		}
+		switch ex.op {
+		case "-":
+			g.mb.I(mvm.NEG)
+		case "~":
+			g.mb.I(mvm.CONST, -1).I(mvm.XOR)
+		case "!":
+			g.mb.I(mvm.CONST, 0).I(mvm.CMPEQ)
+		}
+		return nil
+
+	case *binExpr:
+		return g.binExpr(ex)
+
+	case *callExpr:
+		return g.call(ex)
+	}
+	return g.errf(e.exprLine(), "unhandled expression in managed backend")
+}
+
+func (g *mgen) binExpr(ex *binExpr) error {
+	if ex.op == "&&" || ex.op == "||" {
+		shortL, end := g.label("sc"), g.label("scend")
+		if err := g.expr(ex.l); err != nil {
+			return err
+		}
+		if ex.op == "&&" {
+			g.mb.Br(mvm.IFZ, shortL)
+		} else {
+			g.mb.Br(mvm.IFNZ, shortL)
+		}
+		if err := g.expr(ex.r); err != nil {
+			return err
+		}
+		g.mb.I(mvm.CONST, 0).I(mvm.CMPNE)
+		g.mb.Br(mvm.GOTO, end)
+		g.mb.Label(shortL)
+		if ex.op == "&&" {
+			g.mb.I(mvm.CONST, 0)
+		} else {
+			g.mb.I(mvm.CONST, 1)
+		}
+		g.mb.Label(end)
+		return nil
+	}
+
+	if err := g.expr(ex.l); err != nil {
+		return err
+	}
+	if err := g.expr(ex.r); err != nil {
+		return err
+	}
+	switch ex.op {
+	case "+":
+		g.mb.I(mvm.ADD)
+	case "-":
+		g.mb.I(mvm.SUB)
+	case "*":
+		g.mb.I(mvm.MUL)
+	case "/":
+		g.mb.I(mvm.DIV)
+	case "%":
+		g.mb.I(mvm.MOD)
+	case "&":
+		g.mb.I(mvm.AND)
+	case "|":
+		g.mb.I(mvm.OR)
+	case "^":
+		g.mb.I(mvm.XOR)
+	case "<<":
+		g.mb.I(mvm.SHL)
+	case ">>":
+		g.mb.I(mvm.SHR)
+	case "==":
+		g.mb.I(mvm.CMPEQ)
+	case "!=":
+		g.mb.I(mvm.CMPNE)
+	case "<":
+		g.mb.I(mvm.CMPLT)
+	case "<=":
+		g.mb.I(mvm.CMPLE)
+	case ">":
+		g.mb.I(mvm.SWAP).I(mvm.CMPLT)
+	case ">=":
+		g.mb.I(mvm.SWAP).I(mvm.CMPLE)
+	default:
+		return g.errf(ex.line, "unhandled operator %q", ex.op)
+	}
+	return nil
+}
+
+// forbidden raw-memory builtins in managed code.
+var managedForbidden = map[string]bool{
+	"peek": true, "poke": true, "memcpy": true, "alloc": true,
+	"signal": true, "raise": true, "kill": true,
+	"mutex_lock": true, "mutex_unlock": true,
+	"thread_create": true, "join": true, "getarg": true,
+	"rpc_call": true, "rpc_recv": true, "rpc_reply": true,
+	"load_module": true, "snap": true, "iowrite": true, "yield": true,
+}
+
+func (g *mgen) call(ex *callExpr) error {
+	switch ex.name {
+	case "print":
+		if len(ex.args) == 1 {
+			if s, ok := ex.args[0].(*strExpr); ok {
+				g.mb.I(mvm.PRINTS, int32(g.b.Str(s.s)))
+				g.mb.I(mvm.CONST, 0) // expression value
+				return nil
+			}
+		}
+		return g.errf(ex.line, "print takes one string literal")
+	case "print_int":
+		if len(ex.args) != 1 {
+			return g.errf(ex.line, "print_int takes 1 argument")
+		}
+		if err := g.expr(ex.args[0]); err != nil {
+			return err
+		}
+		g.mb.I(mvm.PRINT).I(mvm.CONST, 0)
+		return nil
+	case "exit":
+		if len(ex.args) != 1 {
+			return g.errf(ex.line, "exit takes 1 argument")
+		}
+		if err := g.expr(ex.args[0]); err != nil {
+			return err
+		}
+		g.mb.I(mvm.HALT)
+		g.mb.I(mvm.CONST, 0) // unreachable expression value
+		return nil
+	case "clock":
+		g.mb.I(mvm.CLOCKB)
+		return nil
+	case "rand":
+		g.mb.I(mvm.RANDB)
+		return nil
+	case "sleep":
+		if len(ex.args) != 1 {
+			return g.errf(ex.line, "sleep takes 1 argument")
+		}
+		if err := g.expr(ex.args[0]); err != nil {
+			return err
+		}
+		g.mb.I(mvm.SLEEPB).I(mvm.CONST, 0)
+		return nil
+	case "ioread":
+		if len(ex.args) != 1 {
+			return g.errf(ex.line, "ioread takes 1 argument")
+		}
+		if err := g.expr(ex.args[0]); err != nil {
+			return err
+		}
+		g.mb.I(mvm.IOREAD)
+		return nil
+	case "netsend":
+		if len(ex.args) != 1 {
+			return g.errf(ex.line, "netsend takes 1 argument")
+		}
+		if err := g.expr(ex.args[0]); err != nil {
+			return err
+		}
+		g.mb.I(mvm.NETSENDB)
+		return nil
+	case "len":
+		if len(ex.args) != 1 {
+			return g.errf(ex.line, "len takes one array")
+		}
+		v, ok := ex.args[0].(*varExpr)
+		if !ok {
+			return g.errf(ex.line, "len takes an array variable")
+		}
+		if err := g.pushRef(v.name, ex.line); err != nil {
+			return err
+		}
+		g.mb.I(mvm.ARRLEN)
+		return nil
+	case "throw":
+		if len(ex.args) != 1 {
+			return g.errf(ex.line, "throw takes 1 argument")
+		}
+		if err := g.expr(ex.args[0]); err != nil {
+			return err
+		}
+		g.mb.I(mvm.THROW)
+		g.mb.I(mvm.CONST, 0)
+		return nil
+	}
+	if managedForbidden[ex.name] {
+		return g.errf(ex.line, "%s is not available in managed code", ex.name)
+	}
+
+	// User methods.
+	if mi, ok := g.methods[ex.name]; ok {
+		for _, a := range ex.args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		g.mb.I(mvm.CALL, int32(mi))
+		return nil
+	}
+
+	// JNI-style natives (declared extern).
+	if _, ok := g.natives[ex.name]; ok {
+		idx := g.natives[ex.name]
+		if idx < 0 {
+			// Bind lazily with the call-site arity.
+			modName := ""
+			for _, ed := range g.nativeMods {
+				if ed.name == ex.name {
+					modName = ed.module
+				}
+			}
+			idx = g.b.Native(modName, ex.name, len(ex.args))
+			g.natives[ex.name] = idx
+		}
+		for _, a := range ex.args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		g.mb.I(mvm.CALLNAT, int32(idx))
+		return nil
+	}
+	return g.errf(ex.line, "undefined function %s", ex.name)
+}

@@ -1,0 +1,460 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"traceback/internal/vm"
+)
+
+// run compiles and executes src, returning the exit code and output.
+func run(t *testing.T, src string, arg uint64) (*vm.Process, int) {
+	t.Helper()
+	mod, err := Compile("test", "test.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewWorld(11)
+	m := w.NewMachine("m", 0)
+	p := m.NewProcess("test", nil)
+	if _, err := p.Load(mod); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StartMain(arg); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.RunProcess(p, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return p, p.ExitCode
+}
+
+func TestArithmetic(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	int a = 6;
+	int b = 7;
+	exit(a * b - 2);
+}`, 0)
+	if code != 40 {
+		t.Errorf("exit = %d, want 40", code)
+	}
+}
+
+func TestPrecedenceAndUnary(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	exit(2 + 3 * 4 - -6 / 2 + (1 << 4) + (255 & 15) + !0 + !5 + ~(-8));
+}`, 0)
+	// 2+12+3+16+15+1+0+7 = 56
+	if code != 56 {
+		t.Errorf("exit = %d, want 56", code)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	int n = 0;
+	if (3 < 5) n = n + 1;
+	if (5 <= 5) n = n + 1;
+	if (7 > 2) n = n + 1;
+	if (2 >= 3) n = n + 100;
+	if (4 == 4 && 5 != 6) n = n + 1;
+	if (0 || 9) n = n + 1;
+	if (1 && 0) n = n + 100;
+	exit(n);
+}`, 0)
+	if code != 5 {
+		t.Errorf("exit = %d, want 5", code)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	_, code := run(t, `
+int g;
+int bump() { g = g + 1; return 1; }
+int main() {
+	int x = 0 && bump();
+	int y = 1 || bump();
+	exit(g * 10 + x + y);
+}`, 0)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (bump never called)", code)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	int sum = 0;
+	int i = 1;
+	while (i <= 100) {
+		sum = sum + i;
+		i = i + 1;
+	}
+	exit(sum % 251);
+}`, 0)
+	if code != 5050%251 {
+		t.Errorf("exit = %d, want %d", code, 5050%251)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	int sum = 0;
+	for (int i = 0; i < 20; i = i + 1) {
+		if (i % 2 == 1) continue;
+		if (i > 10) break;
+		sum = sum + i;
+	}
+	exit(sum);
+}`, 0)
+	if code != 0+2+4+6+8+10 {
+		t.Errorf("exit = %d, want 30", code)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	_, code := run(t, `
+int table[16];
+int total;
+int main() {
+	for (int i = 0; i < 16; i = i + 1) {
+		table[i] = i * i;
+	}
+	total = 0;
+	for (int i = 0; i < 16; i = i + 1) {
+		total = total + table[i];
+	}
+	exit(total % 256);
+}`, 0)
+	want := 0
+	for i := 0; i < 16; i++ {
+		want += i * i
+	}
+	if code != want%256 {
+		t.Errorf("exit = %d, want %d", code, want%256)
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	int buf[8];
+	for (int i = 0; i < 8; i = i + 1) buf[i] = i + 1;
+	int s = 0;
+	for (int i = 0; i < 8; i = i + 1) s = s + buf[i];
+	exit(s);
+}`, 0)
+	if code != 36 {
+		t.Errorf("exit = %d, want 36", code)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	_, code := run(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { exit(fib(15)); }`, 0)
+	if code != 610 {
+		t.Errorf("fib(15) = %d, want 610", code)
+	}
+}
+
+func TestFourArguments(t *testing.T) {
+	_, code := run(t, `
+int mix(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+int main() { exit(mix(1, 2, 3, 4)); }`, 0)
+	if code != 1234 {
+		t.Errorf("exit = %d, want 1234", code)
+	}
+}
+
+func TestNestedCallsPreserveTemps(t *testing.T) {
+	_, code := run(t, `
+int id(int x) { return x; }
+int main() {
+	exit(id(10) + id(20) * id(3) - id(id(5)));
+}`, 0)
+	if code != 10+60-5 {
+		t.Errorf("exit = %d, want 65", code)
+	}
+}
+
+func TestSwitchDenseJumpTable(t *testing.T) {
+	src := `
+int classify(int x) {
+	switch (x) {
+	case 0: return 100;
+	case 1: return 200;
+	case 2: return 300;
+	case 3: return 400;
+	default: return 999;
+	}
+}
+int main() { exit(classify(getarg())); }`
+	for arg, want := range map[uint64]int{0: 100, 1: 200, 2: 300, 3: 400, 9: 999} {
+		if _, code := run(t, src, arg); code != want {
+			t.Errorf("classify(%d) = %d, want %d", arg, code, want)
+		}
+	}
+}
+
+func TestSwitchSparse(t *testing.T) {
+	src := `
+int main() {
+	int r = 0;
+	switch (getarg()) {
+	case 100: r = 1;
+	case 5000: r = 2;
+	default: r = 3;
+	}
+	exit(r);
+}`
+	for arg, want := range map[uint64]int{100: 1, 5000: 2, 7: 3} {
+		if _, code := run(t, src, arg); code != want {
+			t.Errorf("switch(%d) = %d, want %d", arg, code, want)
+		}
+	}
+}
+
+func TestPrintAndPrintInt(t *testing.T) {
+	p, _ := run(t, `
+int main() {
+	print("hello\n");
+	print_int(42);
+	exit(0);
+}`, 0)
+	if got := p.OutString(); got != "hello\n42\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestAllocPeekPoke(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	int p = alloc(64);
+	poke(p + 8, 77);
+	exit(peek(p + 8));
+}`, 0)
+	if code != 77 {
+		t.Errorf("exit = %d, want 77", code)
+	}
+}
+
+func TestPointerIndexingThroughScalar(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	int p = alloc(64);
+	p[3] = 21;
+	exit(p[3] * 2);
+}`, 0)
+	if code != 42 {
+		t.Errorf("exit = %d, want 42", code)
+	}
+}
+
+func TestThreadsBuiltins(t *testing.T) {
+	_, code := run(t, `
+int worker() {
+	return getarg() * 2;
+}
+int main() {
+	int t1 = thread_create(&worker, 10);
+	int t2 = thread_create(&worker, 20);
+	exit(join(t1) + join(t2));
+}`, 0)
+	if code != 60 {
+		t.Errorf("exit = %d, want 60", code)
+	}
+}
+
+func TestFunctionPointerCall(t *testing.T) {
+	_, code := run(t, `
+int twice(int x) { return x * 2; }
+int thrice(int x) { return x * 3; }
+int main() {
+	int f = &twice;
+	if (getarg() == 1) f = &thrice;
+	exit(f(7));
+}`, 1)
+	if code != 21 {
+		t.Errorf("exit = %d, want 21", code)
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	p, _ := run(t, `
+int main() {
+	int z = 0;
+	exit(5 / z);
+}`, 0)
+	if p.FatalSignal != vm.SigFpe {
+		t.Errorf("signal = %s, want SIGFPE", vm.SignalName(p.FatalSignal))
+	}
+}
+
+func TestLineTableAccuracy(t *testing.T) {
+	mod, err := Compile("t", "t.mc", `int main() {
+	int a = 1;
+	int b = 2;
+	exit(a + b);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exit call is on line 4.
+	found := false
+	for i, in := range mod.Code {
+		if in.Op.String() == "sys" && in.Imm == 1 {
+			_, line, ok := mod.LineFor(uint32(i))
+			if !ok || line != 4 {
+				t.Errorf("exit() attributed to line %d, want 4", line)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no exit syscall generated")
+	}
+	if err := mod.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`int main( { }`,
+		`int main() { int; }`,
+		`int main() { if (1 }`,
+		`int main() { x = ; }`,
+		`int main() { break; }`,
+		`int 3x() {}`,
+		`int main() { return 1 }`,
+		`int a[0];`,
+		`int main(int a, int b, int c, int d, int e) {}`,
+		`int f() {} int f() {}`,
+		`int main() { undefined_fn(); }`,
+		`int main() { exit(novar); }`,
+		`int main() { case 1: ; }`,
+	}
+	for _, src := range bad {
+		if _, err := Compile("bad", "bad.mc", src); err == nil {
+			t.Errorf("compile accepted %q", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	_, code := run(t, `
+// line comment
+int main() {
+	/* block
+	   comment */
+	exit(9); // trailing
+}`, 0)
+	if code != 9 {
+		t.Errorf("exit = %d, want 9", code)
+	}
+}
+
+func TestExternCrossModule(t *testing.T) {
+	lib, err := Compile("mathlib", "mathlib.mc", `
+int square(int x) { return x * x; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Compile("app", "app.mc", `
+extern "mathlib" int square(int x);
+int main() { exit(square(9)); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewWorld(1)
+	m := w.NewMachine("m", 0)
+	p := m.NewProcess("app", nil)
+	if _, err := p.Load(lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Load(app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StartMain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.RunProcess(p, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 81 {
+		t.Errorf("exit = %d, want 81", p.ExitCode)
+	}
+}
+
+func TestDeepExpression(t *testing.T) {
+	_, code := run(t, `
+int main() {
+	exit(((1 + 2) * (3 + 4)) + ((5 - 6) * (7 - 8)));
+}`, 0)
+	if code != 22 {
+		t.Errorf("exit = %d, want 22", code)
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	_, code := run(t, `int main() { exit(0xFF & 0x0F); }`, 0)
+	if code != 15 {
+		t.Errorf("exit = %d, want 15", code)
+	}
+}
+
+func TestMutexBuiltins(t *testing.T) {
+	_, code := run(t, `
+int m;
+int counter;
+int worker() {
+	for (int i = 0; i < 100; i = i + 1) {
+		mutex_lock(&m);
+		counter = counter + 1;
+		mutex_unlock(&m);
+	}
+	return 0;
+}
+int main() {
+	int t1 = thread_create(&worker, 0);
+	int t2 = thread_create(&worker, 0);
+	join(t1);
+	join(t2);
+	exit(counter);
+}`, 0)
+	if code != 200 {
+		t.Errorf("counter = %d, want 200", code)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	src := `int f(int x) { return x + 1; } int main() { exit(f(1)); }`
+	a, err := Compile("d", "d.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile("d", "d.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ChecksumHex() != b.ChecksumHex() {
+		t.Error("compilation is not deterministic")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	p, _ := run(t, `int main() { print("a\tb\n"); exit(0); }`, 0)
+	if !strings.Contains(p.OutString(), "a\tb\n") {
+		t.Errorf("output = %q", p.OutString())
+	}
+}

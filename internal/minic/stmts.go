@@ -1,0 +1,441 @@
+package minic
+
+import (
+	"traceback/internal/isa"
+)
+
+// block generates a statement block.
+func (g *gen) block(b *blockStmt) error {
+	for _, s := range b.stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) stmt(s stmt) error {
+	g.atLine(s.stmtLine())
+	switch st := s.(type) {
+	case *blockStmt:
+		return g.block(st)
+
+	case *localDecl:
+		if st.array {
+			off := g.allocStack(st.size)
+			g.locals[st.name] = localInfo{reg: -1, off: off, size: st.size, array: true}
+			return nil
+		}
+		li, ok := g.locals[st.name]
+		if !ok {
+			off := g.allocStack(1)
+			li = localInfo{reg: -1, off: off, size: 1}
+			g.locals[st.name] = li
+		}
+		if st.init == nil {
+			return nil
+		}
+		return g.assignScalar(st.name, st.init, st.line)
+
+	case *assignStmt:
+		if st.target.index == nil {
+			return g.assignScalar(st.target.name, st.value, st.line)
+		}
+		// Array element store.
+		addr, err := g.elemAddr(st.target.name, st.target.index, st.line)
+		if err != nil {
+			return err
+		}
+		v, err := g.expr(st.value)
+		if err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.ST, A: addr, B: v})
+		g.freeTemp(addr)
+		g.freeTemp(v)
+		return nil
+
+	case *ifStmt:
+		cond, err := g.expr(st.cond)
+		if err != nil {
+			return err
+		}
+		jFalse := g.emit(isa.Instr{Op: isa.BEQI, A: cond, C: 0})
+		g.freeTemp(cond)
+		if err := g.stmt(st.then); err != nil {
+			return err
+		}
+		if st.els == nil {
+			g.mod.Code[jFalse].Imm = int32(len(g.mod.Code))
+			return nil
+		}
+		jEnd := g.emit(isa.Instr{Op: isa.JMP})
+		g.mod.Code[jFalse].Imm = int32(len(g.mod.Code))
+		if err := g.stmt(st.els); err != nil {
+			return err
+		}
+		g.mod.Code[jEnd].Imm = int32(len(g.mod.Code))
+		return nil
+
+	case *whileStmt:
+		var brks, cnts []int
+		g.breaks = append(g.breaks, &brks)
+		g.conts = append(g.conts, &cnts)
+		top := len(g.mod.Code)
+		cond, err := g.expr(st.cond)
+		if err != nil {
+			return err
+		}
+		jOut := g.emit(isa.Instr{Op: isa.BEQI, A: cond, C: 0})
+		g.freeTemp(cond)
+		if err := g.stmt(st.body); err != nil {
+			return err
+		}
+		g.atLine(st.line)
+		g.emit(isa.Instr{Op: isa.JMP, Imm: int32(top)})
+		end := int32(len(g.mod.Code))
+		g.mod.Code[jOut].Imm = end
+		for _, at := range brks {
+			g.mod.Code[at].Imm = end
+		}
+		for _, at := range cnts {
+			g.mod.Code[at].Imm = int32(top)
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+
+	case *forStmt:
+		if st.init != nil {
+			if err := g.stmt(st.init); err != nil {
+				return err
+			}
+		}
+		var brks, cnts []int
+		g.breaks = append(g.breaks, &brks)
+		g.conts = append(g.conts, &cnts)
+		top := len(g.mod.Code)
+		var jOut int = -1
+		if st.cond != nil {
+			cond, err := g.expr(st.cond)
+			if err != nil {
+				return err
+			}
+			jOut = g.emit(isa.Instr{Op: isa.BEQI, A: cond, C: 0})
+			g.freeTemp(cond)
+		}
+		if err := g.stmt(st.body); err != nil {
+			return err
+		}
+		postAt := int32(len(g.mod.Code))
+		if st.post != nil {
+			g.atLine(st.line)
+			if err := g.stmt(st.post); err != nil {
+				return err
+			}
+		}
+		g.emit(isa.Instr{Op: isa.JMP, Imm: int32(top)})
+		end := int32(len(g.mod.Code))
+		if jOut >= 0 {
+			g.mod.Code[jOut].Imm = end
+		}
+		for _, at := range brks {
+			g.mod.Code[at].Imm = end
+		}
+		for _, at := range cnts {
+			g.mod.Code[at].Imm = postAt
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+
+	case *switchStmt:
+		return g.switchStmt(st)
+
+	case *returnStmt:
+		if st.value != nil {
+			v, err := g.expr(st.value)
+			if err != nil {
+				return err
+			}
+			g.emit(isa.Instr{Op: isa.MOV, A: isa.RV, B: v})
+			g.freeTemp(v)
+		} else {
+			g.emit(isa.Instr{Op: isa.MOVI, A: isa.RV, Imm: 0})
+		}
+		at := g.emit(isa.Instr{Op: isa.JMP})
+		g.epilogue = append(g.epilogue, at)
+		return nil
+
+	case *breakStmt:
+		if len(g.breaks) == 0 {
+			return g.errf(st.line, "break outside loop/switch")
+		}
+		at := g.emit(isa.Instr{Op: isa.JMP})
+		lst := g.breaks[len(g.breaks)-1]
+		*lst = append(*lst, at)
+		return nil
+
+	case *continueStmt:
+		if len(g.conts) == 0 {
+			return g.errf(st.line, "continue outside loop")
+		}
+		at := g.emit(isa.Instr{Op: isa.JMP})
+		lst := g.conts[len(g.conts)-1]
+		*lst = append(*lst, at)
+		return nil
+
+	case *exprStmt:
+		v, err := g.expr(st.e)
+		if err != nil {
+			return err
+		}
+		g.freeTemp(v)
+		return nil
+	}
+	return g.errf(s.stmtLine(), "unhandled statement")
+}
+
+// assignScalar stores an expression value into a named scalar.
+func (g *gen) assignScalar(name string, value expr, line int) error {
+	v, err := g.expr(value)
+	if err != nil {
+		return err
+	}
+	defer g.freeTemp(v)
+	if li, ok := g.locals[name]; ok {
+		if li.array {
+			return g.errf(line, "cannot assign to array %s", name)
+		}
+		if li.reg >= 0 {
+			g.emit(isa.Instr{Op: isa.MOV, A: uint8(li.reg), B: v})
+		} else {
+			g.emit(isa.Instr{Op: isa.ST, A: isa.FP, B: v, Imm: li.off})
+		}
+		return nil
+	}
+	if gi, ok := g.globals[name]; ok {
+		if gi.size > 1 {
+			return g.errf(line, "cannot assign to array %s", name)
+		}
+		a, err := g.allocTemp(line)
+		if err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.GADDR, A: a, Imm: gi.off})
+		g.emit(isa.Instr{Op: isa.ST, A: a, B: v})
+		g.freeTemp(a)
+		return nil
+	}
+	return g.errf(line, "undefined variable %s", name)
+}
+
+// elemAddr computes &name[index] into a fresh temp.
+func (g *gen) elemAddr(name string, index expr, line int) (uint8, error) {
+	idx, err := g.expr(index)
+	if err != nil {
+		return 0, err
+	}
+	// addr = base + idx*8
+	three, err := g.allocTemp(line)
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: isa.MOVI, A: three, Imm: 3})
+	g.emit(isa.Instr{Op: isa.SHL, A: idx, B: idx, C: three})
+	g.freeTemp(three)
+	if li, ok := g.locals[name]; ok {
+		if !li.array {
+			// Scalar used as a base pointer (alloc() result).
+			base, err2 := g.loadScalar(name, line)
+			if err2 != nil {
+				return 0, err2
+			}
+			g.emit(isa.Instr{Op: isa.ADD, A: idx, B: idx, C: base})
+			g.freeTemp(base)
+			return idx, nil
+		}
+		g.emit(isa.Instr{Op: isa.ADDI, A: idx, B: idx, Imm: li.off})
+		g.emit(isa.Instr{Op: isa.ADD, A: idx, B: idx, C: isa.FP})
+		return idx, nil
+	}
+	if gi, ok := g.globals[name]; ok {
+		base, err2 := g.allocTemp(line)
+		if err2 != nil {
+			return 0, err2
+		}
+		g.emit(isa.Instr{Op: isa.GADDR, A: base, Imm: gi.off})
+		g.emit(isa.Instr{Op: isa.ADD, A: idx, B: idx, C: base})
+		g.freeTemp(base)
+		return idx, nil
+	}
+	return 0, g.errf(line, "undefined array %s", name)
+}
+
+// loadScalar loads a named scalar into a fresh temp.
+func (g *gen) loadScalar(name string, line int) (uint8, error) {
+	if li, ok := g.locals[name]; ok {
+		if li.array {
+			// Array name decays to its address.
+			r, err := g.allocTemp(line)
+			if err != nil {
+				return 0, err
+			}
+			g.emit(isa.Instr{Op: isa.ADDI, A: r, B: isa.FP, Imm: li.off})
+			return r, nil
+		}
+		r, err := g.allocTemp(line)
+		if err != nil {
+			return 0, err
+		}
+		if li.reg >= 0 {
+			g.emit(isa.Instr{Op: isa.MOV, A: r, B: uint8(li.reg)})
+		} else {
+			g.emit(isa.Instr{Op: isa.LD, A: r, B: isa.FP, Imm: li.off})
+		}
+		return r, nil
+	}
+	if gi, ok := g.globals[name]; ok {
+		r, err := g.allocTemp(line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.GADDR, A: r, Imm: gi.off})
+		if gi.size == 1 {
+			g.emit(isa.Instr{Op: isa.LD, A: r, B: r})
+		}
+		return r, nil
+	}
+	return 0, g.errf(line, "undefined variable %s", name)
+}
+
+// switchStmt lowers a switch. Dense case sets over [0, 32) become a
+// jump table (a multiway branch, which instrumentation must head with
+// heavyweight probes); sparse sets become an if-chain.
+func (g *gen) switchStmt(st *switchStmt) error {
+	v, err := g.expr(st.value)
+	if err != nil {
+		return err
+	}
+	var brks []int
+	g.breaks = append(g.breaks, &brks)
+	defer func() { g.breaks = g.breaks[:len(g.breaks)-1] }()
+
+	lo, hi := int64(1<<62), int64(-1<<62)
+	for _, c := range st.cases {
+		if c.val < lo {
+			lo = c.val
+		}
+		if c.val > hi {
+			hi = c.val
+		}
+	}
+	dense := len(st.cases) > 0 && lo == 0 && hi < 32 && hi-lo+1 <= int64(len(st.cases))*2
+
+	if dense {
+		n := int(hi + 1)
+		// Bounds check: v < 0 or v >= n routes to the default.
+		limit, err := g.allocTemp(st.line)
+		if err != nil {
+			return err
+		}
+		zr, err := g.allocTemp(st.line)
+		if err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.MOVI, A: zr, Imm: 0})
+		jLow := g.emit(isa.Instr{Op: isa.BLT, A: v, B: zr})
+		g.emit(isa.Instr{Op: isa.MOVI, A: limit, Imm: int32(n)})
+		jHigh := g.emit(isa.Instr{Op: isa.BGE, A: v, B: limit})
+		g.freeTemp(zr)
+		g.freeTemp(limit)
+		g.emit(isa.Instr{Op: isa.JTAB, A: v, C: uint8(n)})
+		g.freeTemp(v)
+		slots := make([]int, n)
+		for i := 0; i < n; i++ {
+			slots[i] = g.emit(isa.Instr{Op: isa.JMP})
+		}
+		// Default target (also the low/high bounds target).
+		caseAt := map[int64]int32{}
+		var ends []int
+		for _, c := range st.cases {
+			caseAt[c.val] = int32(len(g.mod.Code))
+			g.atLine(c.line)
+			for _, cs := range c.stmts {
+				if err := g.stmt(cs); err != nil {
+					return err
+				}
+			}
+			ends = append(ends, g.emit(isa.Instr{Op: isa.JMP}))
+		}
+		defAt := int32(len(g.mod.Code))
+		for _, cs := range st.def {
+			if err := g.stmt(cs); err != nil {
+				return err
+			}
+		}
+		end := int32(len(g.mod.Code))
+		g.mod.Code[jLow].Imm = defAt
+		g.mod.Code[jHigh].Imm = defAt
+		for i := 0; i < n; i++ {
+			if at, ok := caseAt[int64(i)]; ok {
+				g.mod.Code[slots[i]].Imm = at
+			} else {
+				g.mod.Code[slots[i]].Imm = defAt
+			}
+		}
+		for _, at := range ends {
+			g.mod.Code[at].Imm = end
+		}
+		for _, at := range brks {
+			g.mod.Code[at].Imm = end
+		}
+		return nil
+	}
+
+	// Sparse: if-chain.
+	type pend struct {
+		j    int
+		body []stmt
+		line int
+	}
+	var pends []pend
+	cv, err := g.allocTemp(st.line)
+	if err != nil {
+		return err
+	}
+	for _, c := range st.cases {
+		g.emit(isa.Instr{Op: isa.MOVI, A: cv, Imm: int32(c.val)})
+		j := g.emit(isa.Instr{Op: isa.BEQ, A: v, B: cv})
+		pends = append(pends, pend{j: j, body: c.stmts, line: c.line})
+	}
+	g.freeTemp(cv)
+	g.freeTemp(v)
+	// Default falls through here.
+	for _, cs := range st.def {
+		if err := g.stmt(cs); err != nil {
+			return err
+		}
+	}
+	jEnd := g.emit(isa.Instr{Op: isa.JMP})
+	var ends []int
+	for _, pd := range pends {
+		g.mod.Code[pd.j].Imm = int32(len(g.mod.Code))
+		g.atLine(pd.line)
+		for _, cs := range pd.body {
+			if err := g.stmt(cs); err != nil {
+				return err
+			}
+		}
+		ends = append(ends, g.emit(isa.Instr{Op: isa.JMP}))
+	}
+	end := int32(len(g.mod.Code))
+	g.mod.Code[jEnd].Imm = end
+	for _, at := range ends {
+		g.mod.Code[at].Imm = end
+	}
+	for _, at := range brks {
+		g.mod.Code[at].Imm = end
+	}
+	return nil
+}

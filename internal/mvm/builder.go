@@ -1,0 +1,150 @@
+package mvm
+
+import "fmt"
+
+// Builder assembles managed modules programmatically (the stand-in
+// for javac: workloads set line numbers explicitly, so traces show
+// meaningful "source" positions).
+type Builder struct {
+	mod *Module
+	err error
+}
+
+// NewBuilder starts a module.
+func NewBuilder(name, file string) *Builder {
+	return &Builder{mod: &Module{Name: name, File: file}}
+}
+
+// Native registers a native binding and returns its CALLNAT index.
+func (b *Builder) Native(module, name string, arity int) int {
+	b.mod.Natives = append(b.mod.Natives, NativeBinding{Module: module, Name: name, Arity: arity})
+	return len(b.mod.Natives) - 1
+}
+
+// Str interns a string constant and returns its index.
+func (b *Builder) Str(s string) int {
+	for i, c := range b.mod.Consts {
+		if c == s {
+			return i
+		}
+	}
+	b.mod.Consts = append(b.mod.Consts, s)
+	return len(b.mod.Consts) - 1
+}
+
+// MethodBuilder assembles one method.
+type MethodBuilder struct {
+	b       *Builder
+	m       *Method
+	labels  map[string]uint32
+	fixups  map[string][]int
+	curLine uint32
+
+	pendingCatch [][3]string
+	pendingCode  []int32
+}
+
+// Method starts a method with nargs arguments and nlocals total
+// local slots.
+func (b *Builder) Method(name string, nargs, nlocals int) *MethodBuilder {
+	m := &Method{Name: name, NArgs: nargs, NLocals: nlocals}
+	b.mod.Methods = append(b.mod.Methods, m)
+	return &MethodBuilder{b: b, m: m, labels: map[string]uint32{}, fixups: map[string][]int{}}
+}
+
+// Line sets the source line for subsequent instructions.
+func (mb *MethodBuilder) Line(n int) *MethodBuilder {
+	if uint32(n) != mb.curLine {
+		mb.curLine = uint32(n)
+		mb.m.Lines = append(mb.m.Lines, LineEntry{Index: uint32(len(mb.m.Code)), Line: uint32(n)})
+	}
+	return mb
+}
+
+// I appends an instruction.
+func (mb *MethodBuilder) I(op Op, args ...int32) *MethodBuilder {
+	in := Instr{Op: op}
+	switch len(args) {
+	case 0:
+	case 1:
+		in.Imm = args[0]
+	case 2:
+		in.A = uint16(args[0])
+		in.Imm = args[1]
+	}
+	mb.m.Code = append(mb.m.Code, in)
+	return mb
+}
+
+// Label defines a branch target here.
+func (mb *MethodBuilder) Label(name string) *MethodBuilder {
+	mb.labels[name] = uint32(len(mb.m.Code))
+	return mb
+}
+
+// Br appends a branch to a (possibly forward) label.
+func (mb *MethodBuilder) Br(op Op, label string) *MethodBuilder {
+	mb.fixups[label] = append(mb.fixups[label], len(mb.m.Code))
+	mb.m.Code = append(mb.m.Code, Instr{Op: op})
+	return mb
+}
+
+// Catch appends an exception-table row over [fromLabel, toLabel)
+// transferring to handlerLabel; code 0 catches all.
+func (mb *MethodBuilder) Catch(fromLabel, toLabel, handlerLabel string, code int32) *MethodBuilder {
+	// Resolved in Done (labels may be forward).
+	mb.pendingCatch = append(mb.pendingCatch, [3]string{fromLabel, toLabel, handlerLabel})
+	mb.pendingCode = append(mb.pendingCode, code)
+	return mb
+}
+
+// Done resolves labels.
+func (mb *MethodBuilder) Done() {
+	for label, sites := range mb.fixups {
+		target, ok := mb.labels[label]
+		if !ok {
+			mb.b.err = fmt.Errorf("mvm builder: %s: undefined label %q", mb.m.Name, label)
+			return
+		}
+		for _, at := range sites {
+			mb.m.Code[at].Imm = int32(target)
+		}
+	}
+	for i, pc := range mb.pendingCatch {
+		from, ok1 := mb.labels[pc[0]]
+		to, ok2 := mb.labels[pc[1]]
+		h, ok3 := mb.labels[pc[2]]
+		if !ok1 || !ok2 || !ok3 {
+			mb.b.err = fmt.Errorf("mvm builder: %s: undefined catch label", mb.m.Name)
+			return
+		}
+		mb.m.Exc = append(mb.m.Exc, ExcEntry{From: from, To: to, Handler: h, Code: mb.pendingCode[i]})
+	}
+}
+
+// SetStatics declares the module's static-field slots (must be
+// called before Build so validation sees them).
+func (b *Builder) SetStatics(names []string) {
+	b.mod.NStatics = len(names)
+	b.mod.StaticNames = append([]string(nil), names...)
+}
+
+// Build finishes the module.
+func (b *Builder) Build() (*Module, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.mod.Validate(); err != nil {
+		return nil, err
+	}
+	return b.mod, nil
+}
+
+// MustBuild panics on error.
+func (b *Builder) MustBuild() *Module {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,230 @@
+package mvm
+
+import (
+	"fmt"
+
+	"traceback/internal/module"
+	"traceback/internal/trace"
+)
+
+// Instrument rewrites a managed module with TraceBack probes (paper
+// §2.4's intermediate-code path):
+//
+//   - heavyweight probes (PROBEH) at method entries, exception
+//     handler entries (each catch is "just another procedure entry
+//     point"), backward-branch targets (loops), and call return
+//     points;
+//   - lightweight probes (PROBEL) at every source line boundary
+//     within a DAG, so the exception report can name the exact line
+//     even though the faulting bytecode cannot be recovered from the
+//     exception context;
+//   - a fresh DAG whenever the line-probe bit budget runs out.
+//
+// The emitted mapfile is marked Managed: path expansion takes every
+// marked line in order rather than walking CFG successors.
+func Instrument(m *Module, dagBase uint32) (*Module, *module.MapFile, error) {
+	if m.Instrumented {
+		return nil, nil, fmt.Errorf("mvm: module %s already instrumented", m.Name)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	out := &Module{
+		Name:         m.Name,
+		File:         m.File,
+		Consts:       append([]string(nil), m.Consts...),
+		Natives:      append([]NativeBinding(nil), m.Natives...),
+		NStatics:     m.NStatics,
+		StaticNames:  append([]string(nil), m.StaticNames...),
+		Instrumented: true,
+	}
+	mf := &module.MapFile{ModuleName: m.Name, DAGBase: dagBase, Managed: true}
+	for i, name := range m.StaticNames {
+		mf.Globals = append(mf.Globals, module.Global{Name: name, Off: uint32(i) * 8, Size: 1})
+	}
+	nextDAG := uint32(0)
+
+	for mi, me := range m.Methods {
+		nm, dags, err := instrumentMethod(m, me, dagBase, &nextDAG)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Rebase the mapfile block offsets by the method's flattened
+		// offset in the OUTPUT module.
+		off := out.CodeLen()
+		for di := range dags {
+			for bi := range dags[di].Blocks {
+				dags[di].Blocks[bi].Start += off
+				dags[di].Blocks[bi].End += off
+				for li := range dags[di].Blocks[bi].Lines {
+					dags[di].Blocks[bi].Lines[li].Start += off
+					dags[di].Blocks[bi].Lines[li].End += off
+				}
+			}
+			mf.DAGs = append(mf.DAGs, dags[di])
+		}
+		out.Methods = append(out.Methods, nm)
+		_ = mi
+	}
+	out.DAGCount = nextDAG
+	mf.DAGCount = nextDAG
+	mf.Checksum = out.Checksum()
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("mvm: instrumented module invalid: %w", err)
+	}
+	return out, mf, mf.Validate()
+}
+
+// instrumentMethod rewrites one method.
+func instrumentMethod(m *Module, me *Method, dagBase uint32, nextDAG *uint32) (*Method, []module.MapDAG, error) {
+	// Heavyweight probe sites: entry, handlers, backward-branch
+	// targets, call return points.
+	heavy := map[uint32]bool{0: true}
+	for _, e := range me.Exc {
+		heavy[e.Handler] = true
+	}
+	for i, in := range me.Code {
+		switch in.Op {
+		case GOTO, IFZ, IFNZ:
+			if uint32(in.Imm) <= uint32(i) {
+				heavy[uint32(in.Imm)] = true
+			}
+		case CALL, CALLNAT:
+			if i+1 < len(me.Code) {
+				heavy[uint32(i+1)] = true
+			}
+		}
+	}
+
+	nm := &Method{Name: me.Name, NArgs: me.NArgs, NLocals: me.NLocals}
+	var dags []module.MapDAG
+	oldToNew := make([]uint32, len(me.Code)+1)
+
+	type dagState struct {
+		id      uint32
+		mapDAG  *module.MapDAG
+		nextBit int8
+	}
+	var cur *dagState
+	curLine := uint32(0)
+	firstDAG := true
+
+	openDAG := func() {
+		id := *nextDAG
+		*nextDAG++
+		dags = append(dags, module.MapDAG{ID: id})
+		cur = &dagState{id: id, mapDAG: &dags[len(dags)-1]}
+		nm.Code = append(nm.Code, Instr{Op: PROBEH, Imm: int32(trace.DAGWord(dagBase+id, 0))})
+		// The header "block" covers code from here until the first
+		// line probe.
+		entry := ""
+		if firstDAG {
+			entry = me.Name
+			firstDAG = false
+		}
+		cur.mapDAG.Blocks = append(cur.mapDAG.Blocks, module.MapBlock{
+			Start: uint32(len(nm.Code) - 1), End: uint32(len(nm.Code)),
+			Bit:       -1,
+			FuncEntry: entry,
+		})
+	}
+	closeBlock := func() {
+		if cur == nil || len(cur.mapDAG.Blocks) == 0 {
+			return
+		}
+		b := &cur.mapDAG.Blocks[len(cur.mapDAG.Blocks)-1]
+		b.End = uint32(len(nm.Code))
+		if curLine != 0 {
+			b.Lines = []module.LineSpan{{
+				File: m.File, Line: curLine, Start: b.Start, End: b.End,
+			}}
+		}
+	}
+	lineProbe := func(line uint32) {
+		if cur.nextBit >= trace.NumPathBits {
+			closeBlock()
+			openDAG()
+		}
+		closeBlock()
+		bit := cur.nextBit
+		cur.nextBit++
+		nm.Code = append(nm.Code, Instr{Op: PROBEL, Imm: 1 << uint(bit)})
+		cur.mapDAG.Blocks = append(cur.mapDAG.Blocks, module.MapBlock{
+			Start: uint32(len(nm.Code) - 1), End: uint32(len(nm.Code)),
+			Bit: bit,
+		})
+		curLine = line
+	}
+
+	lineAt := func(idx uint32) (uint32, bool) { return me.LineFor(idx) }
+
+	openDAG()
+	if l, ok := lineAt(0); ok {
+		curLine = l
+	}
+	for i, in := range me.Code {
+		oldToNew[i] = uint32(len(nm.Code))
+		if uint32(i) != 0 && heavy[uint32(i)] {
+			closeBlock()
+			openDAG()
+			if l, ok := lineAt(uint32(i)); ok {
+				curLine = l
+			}
+		} else if l, ok := lineAt(uint32(i)); ok && l != curLine {
+			// Source line boundary: lightweight probe (paper §2.4).
+			lineProbe(l)
+		}
+		// Annotate calls on the current block.
+		if in.Op == CALL || in.Op == CALLNAT {
+			b := &cur.mapDAG.Blocks[len(cur.mapDAG.Blocks)-1]
+			b.Call = module.CallDirect
+			if in.Op == CALLNAT {
+				b.Call = module.CallImport
+				nb := m.Natives[in.Imm]
+				b.CallTarget = nb.Module + "!" + nb.Name
+			} else {
+				b.CallTarget = m.Methods[in.Imm].Name
+			}
+		}
+		if in.Op == RET {
+			b := &cur.mapDAG.Blocks[len(cur.mapDAG.Blocks)-1]
+			b.FuncExit = true
+		}
+		nm.Code = append(nm.Code, in)
+		nm.Lines = appendLine(nm.Lines, uint32(len(nm.Code)-1), me, uint32(i))
+	}
+	oldToNew[len(me.Code)] = uint32(len(nm.Code))
+	closeBlock()
+
+	// Fix branch targets and exception table.
+	for i := range nm.Code {
+		switch nm.Code[i].Op {
+		case GOTO, IFZ, IFNZ:
+			nm.Code[i].Imm = int32(oldToNew[nm.Code[i].Imm])
+		}
+	}
+	for _, e := range me.Exc {
+		nm.Exc = append(nm.Exc, ExcEntry{
+			From:    oldToNew[e.From],
+			To:      oldToNew[e.To],
+			Handler: oldToNew[e.Handler],
+			Code:    e.Code,
+		})
+	}
+	// The runtime's outermost catch-all (paper §3.7.2's Java
+	// fallback) is implicit: the interpreter is the runtime, so it
+	// sees every throw first-chance. The mapfile still records the
+	// method's handlers as entry points (done above).
+	return nm, dags, nil
+}
+
+func appendLine(lines []LineEntry, at uint32, me *Method, oldIdx uint32) []LineEntry {
+	l, ok := me.LineFor(oldIdx)
+	if !ok {
+		return lines
+	}
+	if n := len(lines); n > 0 && lines[n-1].Line == l {
+		return lines
+	}
+	return append(lines, LineEntry{Index: at, Line: l})
+}

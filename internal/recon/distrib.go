@@ -1,0 +1,186 @@
+package recon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Distributed reconstruction (paper §5): SYNC records written on both
+// sides of every RPC fuse the participating physical threads into
+// logical threads, ordered by sequence number, and let reconstruction
+// compensate for clock skew between runtimes (§5.2).
+
+// LogicalKey identifies a logical thread across runtimes.
+type LogicalKey struct {
+	RuntimeID     uint64
+	LogicalThread uint32
+}
+
+// LogicalSegment is a contiguous slice of one physical thread's
+// events bounded by SYNC records, placed in the logical thread's
+// global order by sequence number.
+type LogicalSegment struct {
+	Host    string
+	Process string
+	TID     uint32
+	// Seq is the sequence number of the SYNC that opens the segment
+	// (the first segment of the originating thread uses Seq of its
+	// first call-send, minus a half step so it sorts first).
+	Seq    float64
+	Events []*Event
+}
+
+// LogicalThreadTrace is the stitched cross-runtime history.
+type LogicalThreadTrace struct {
+	Key      LogicalKey
+	Segments []LogicalSegment
+}
+
+// MasterTrace is the distributed reconstruction result.
+type MasterTrace struct {
+	Processes []*ProcessTrace
+	Logical   []*LogicalThreadTrace
+	// SkewEstimates maps runtime-ID pairs to the estimated clock
+	// offset (B - A) derived from SYNC timestamps (paper §5.2).
+	SkewEstimates map[[2]uint64]int64
+}
+
+// Stitch merges several processes' reconstructions into logical
+// threads. Each physical thread's event stream is cut at its SYNC
+// events; segments from all threads sharing a logical thread are
+// ordered by SYNC sequence number (causal RPC order), independent of
+// clock skew.
+func Stitch(procs []*ProcessTrace) *MasterTrace {
+	mt := &MasterTrace{Processes: procs, SkewEstimates: map[[2]uint64]int64{}}
+	byKey := map[LogicalKey]*LogicalThreadTrace{}
+
+	type syncObs struct {
+		rt uint64
+		ts uint64
+		in bool // receive side
+	}
+	syncTimes := map[LogicalKey]map[uint32][]syncObs{}
+
+	for _, pt := range procs {
+		for _, th := range pt.Threads {
+			cuts := []int{}
+			keys := []LogicalKey{}
+			seqs := []uint32{}
+			for i := range th.Events {
+				e := &th.Events[i]
+				if e.Kind != EvSync || e.Sync == nil {
+					continue
+				}
+				k := LogicalKey{e.Sync.RuntimeID, e.Sync.LogicalThread}
+				cuts = append(cuts, i)
+				keys = append(keys, k)
+				seqs = append(seqs, e.Sync.Seq)
+				if syncTimes[k] == nil {
+					syncTimes[k] = map[uint32][]syncObs{}
+				}
+				in := e.Sync.Point == 1 || e.Sync.Point == 3 // recv points
+				syncTimes[k][e.Sync.Seq] = append(syncTimes[k][e.Sync.Seq],
+					syncObs{rt: pt.Snap.RuntimeID, ts: e.Sync.TS, in: in})
+			}
+			if len(cuts) == 0 {
+				continue
+			}
+			// Segment [0, first cut] belongs before the first SYNC;
+			// subsequent segments open at each SYNC.
+			addSeg := func(k LogicalKey, seq float64, lo, hi int) {
+				lt := byKey[k]
+				if lt == nil {
+					lt = &LogicalThreadTrace{Key: k}
+					byKey[k] = lt
+				}
+				seg := LogicalSegment{
+					Host: pt.Snap.Host, Process: pt.Snap.Process,
+					TID: th.TID, Seq: seq,
+				}
+				for i := lo; i < hi; i++ {
+					seg.Events = append(seg.Events, &th.Events[i])
+				}
+				lt.Segments = append(lt.Segments, seg)
+			}
+			addSeg(keys[0], float64(seqs[0])-0.5, 0, cuts[0]+1)
+			for ci := 0; ci < len(cuts); ci++ {
+				lo := cuts[ci] + 1
+				hi := len(th.Events)
+				if ci+1 < len(cuts) {
+					hi = cuts[ci+1] + 1
+				}
+				addSeg(keys[ci], float64(seqs[ci]), lo, hi)
+			}
+		}
+	}
+	for _, lt := range byKey {
+		sort.SliceStable(lt.Segments, func(i, j int) bool {
+			return lt.Segments[i].Seq < lt.Segments[j].Seq
+		})
+		mt.Logical = append(mt.Logical, lt)
+	}
+	sort.Slice(mt.Logical, func(i, j int) bool {
+		a, b := mt.Logical[i].Key, mt.Logical[j].Key
+		if a.RuntimeID != b.RuntimeID {
+			return a.RuntimeID < b.RuntimeID
+		}
+		return a.LogicalThread < b.LogicalThread
+	})
+
+	// Clock-skew estimation (paper §5.2): each SYNC seq observed by
+	// both sides gives an ordering constraint; the send side wrote
+	// seq s at ts1 on runtime A and the matching recv (s+1) happened
+	// at ts2 on runtime B with ts2 "just after" ts1 in real time, so
+	// ts2-ts1 approximates B-A plus latency. We take the minimum over
+	// pairs as the skew estimate.
+	for k, bySeq := range syncTimes {
+		_ = k
+		for seq, obs := range bySeq {
+			next := bySeq[seq+1]
+			for _, a := range obs {
+				for _, b := range next {
+					if a.rt == b.rt || a.in || !b.in {
+						continue
+					}
+					key := [2]uint64{a.rt, b.rt}
+					d := int64(b.ts) - int64(a.ts)
+					if old, ok := mt.SkewEstimates[key]; !ok || d < old {
+						mt.SkewEstimates[key] = d
+					}
+				}
+			}
+		}
+	}
+	return mt
+}
+
+// RenderLogical writes a stitched logical-thread trace: the
+// cross-machine view of Figure 6.
+func RenderLogical(w io.Writer, lt *LogicalThreadTrace, opts RenderOptions) {
+	fmt.Fprintf(w, "== logical thread %d (origin runtime %x) ==\n",
+		lt.Key.LogicalThread, lt.Key.RuntimeID)
+	for _, seg := range lt.Segments {
+		fmt.Fprintf(w, " -- on %s/%s thread %d --\n", seg.Host, seg.Process, seg.TID)
+		for _, e := range seg.Events {
+			switch e.Kind {
+			case EvLine:
+				mark := "  "
+				if e.Fault {
+					mark = " >"
+				}
+				src := ""
+				if opts.Source != nil {
+					if lines := opts.Source(e.File); e.Line >= 1 && int(e.Line-1) < len(lines) {
+						src = "\t" + lines[e.Line-1]
+					}
+				}
+				fmt.Fprintf(w, " %s%s %s:%d%s%s\n", mark, e.Module, e.File, e.Line, noteSuffix(e), src)
+			case EvException:
+				fmt.Fprintf(w, "  !! %s\n", e.Note)
+			case EvSync:
+				fmt.Fprintf(w, "  ~~ %s seq %d\n", e.Note, e.Sync.Seq)
+			}
+		}
+	}
+}

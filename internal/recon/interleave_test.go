@@ -1,0 +1,106 @@
+package recon
+
+import (
+	"strings"
+	"testing"
+
+	"traceback/internal/trace"
+)
+
+func twoThreads() []*ThreadTrace {
+	t1 := &ThreadTrace{TID: 1, Events: []Event{
+		{Kind: EvLine, Module: "m", File: "a.mc", Line: 1, TS: 10},
+		{Kind: EvLine, Module: "m", File: "a.mc", Line: 2, TS: 10, AnchorSeq: 1},
+		{Kind: EvLine, Module: "m", File: "a.mc", Line: 3, TS: 50},
+	}}
+	t2 := &ThreadTrace{TID: 2, Events: []Event{
+		{Kind: EvLine, Module: "m", File: "a.mc", Line: 9, TS: 30},
+		{Kind: EvSync, Note: "call-send", TS: 60, Sync: &dummySync},
+	}}
+	return []*ThreadTrace{t1, t2}
+}
+
+func TestConcurrentWith(t *testing.T) {
+	threads := twoThreads()
+	// Event at TS 10 of thread 1: thread 2's TS-30 event is ordered
+	// after (30 > 10), so nothing is concurrent.
+	e := &threads[0].Events[0]
+	if c := ConcurrentWith(e, threads, 1); len(c) != 0 {
+		t.Errorf("concurrent = %v, want none", c)
+	}
+	// An event with no anchor is unordered with everything.
+	free := &Event{Kind: EvLine, TS: 0}
+	if c := ConcurrentWith(free, threads, 3); len(c) != len(threads[0].Events)+len(threads[1].Events) {
+		t.Errorf("unanchored event concurrent with %d events", len(c))
+	}
+	// Same-anchor events across threads are "potentially concurrent"
+	// (paper §4.3.2's highlight set).
+	same := &Event{Kind: EvLine, TS: 30}
+	c := ConcurrentWith(same, threads, 1)
+	if len(c) != 1 || c[0].Ev.Line != 9 {
+		t.Errorf("concurrent = %+v, want thread 2's line 9", c)
+	}
+}
+
+func TestRenderInterleavedOutput(t *testing.T) {
+	pt := &ProcessTrace{Threads: twoThreads()}
+	var sb strings.Builder
+	RenderInterleaved(&sb, pt)
+	out := sb.String()
+	// Ordered by anchors: t1 lines at 10, t2 line at 30, t1 line at
+	// 50, t2 sync at 60.
+	i1 := strings.Index(out, "a.mc:1")
+	i9 := strings.Index(out, "a.mc:9")
+	i3 := strings.Index(out, "a.mc:3")
+	isync := strings.Index(out, "call-send")
+	if !(i1 < i9 && i9 < i3 && i3 < isync) {
+		t.Errorf("interleaved order wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "[t1]") || !strings.Contains(out, "[t2]") {
+		t.Errorf("thread tags missing:\n%s", out)
+	}
+}
+
+func TestViewEmptyTrace(t *testing.T) {
+	v := NewView(&ThreadTrace{TID: 1})
+	if v.Current() != nil {
+		t.Error("empty view has a current event")
+	}
+	if v.Step() || v.StepBack() || v.StepOver() || v.StepOut() ||
+		v.StepBackOver() || v.StepBackOut() {
+		t.Error("stepping succeeded on an empty trace")
+	}
+}
+
+func TestViewBoundaries(t *testing.T) {
+	tt := &ThreadTrace{TID: 1, Events: []Event{
+		{Kind: EvLine, Line: 1, Depth: 1},
+		{Kind: EvLine, Line: 2, Depth: 2},
+		{Kind: EvLine, Line: 3, Depth: 1},
+	}}
+	v := NewView(tt)
+	if v.Current().Line != 3 {
+		t.Error("view does not start at the newest event")
+	}
+	if v.Step() {
+		t.Error("stepped past the end")
+	}
+	v.SeekOldest()
+	if v.StepBack() {
+		t.Error("stepped before the beginning")
+	}
+	// StepOut from depth 2 reaches depth 1 at line 3.
+	v.SeekOldest()
+	v.Step() // line 2, depth 2
+	if !v.StepOut() || v.Current().Line != 3 {
+		t.Errorf("step-out landed at %+v", v.Current())
+	}
+	// StepBackOut from depth 2 reaches line 1.
+	v.SeekOldest()
+	v.Step()
+	if !v.StepBackOut() || v.Current().Line != 1 {
+		t.Errorf("step-back-out landed at %+v", v.Current())
+	}
+}
+
+var dummySync = trace.Sync{Point: trace.SyncCallSend, RuntimeID: 1, LogicalThread: 1, TS: 60}

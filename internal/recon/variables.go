@@ -1,0 +1,79 @@
+package recon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"traceback/internal/snap"
+)
+
+// VarValue is one global variable's value at snap time, decoded from
+// the snap's data-segment dump via the mapfile's symbol table (the
+// paper's §3.6 "display the values of variables or objects at the
+// point of the snap").
+type VarValue struct {
+	Module string
+	Name   string
+	// Values holds the scalar value (len 1) or array elements.
+	Values []int64
+}
+
+// Variables decodes every resolvable global in the snap.
+func Variables(s *snap.Snap, maps *MapSet) []VarValue {
+	var out []VarValue
+	for _, mi := range s.Modules {
+		if len(mi.DataDump) == 0 {
+			continue
+		}
+		mf, ok := maps.ForChecksum(mi.Checksum)
+		if !ok {
+			continue
+		}
+		for _, g := range mf.Globals {
+			v := VarValue{Module: mi.Name, Name: g.Name}
+			for i := uint32(0); i < g.Size; i++ {
+				off := g.Off + i*8
+				if int(off)+8 > len(mi.DataDump) {
+					break
+				}
+				v.Values = append(v.Values,
+					int64(binary.LittleEndian.Uint64(mi.DataDump[off:])))
+			}
+			if len(v.Values) > 0 {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// RenderVariables writes the variables view.
+func RenderVariables(w io.Writer, s *snap.Snap, maps *MapSet) {
+	vars := Variables(s, maps)
+	if len(vars) == 0 {
+		fmt.Fprintln(w, "(no variable values in this snap)")
+		return
+	}
+	fmt.Fprintln(w, "-- globals at snap time --")
+	for _, v := range vars {
+		if len(v.Values) == 1 {
+			fmt.Fprintf(w, "%s!%s = %d\n", v.Module, v.Name, v.Values[0])
+			continue
+		}
+		max := len(v.Values)
+		ell := ""
+		if max > 8 {
+			max = 8
+			ell = ", ..."
+		}
+		fmt.Fprintf(w, "%s!%s = [", v.Module, v.Name)
+		for i := 0; i < max; i++ {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%d", v.Values[i])
+		}
+		fmt.Fprintf(w, "%s] (%d elements)\n", ell, len(v.Values))
+	}
+}

@@ -1,0 +1,155 @@
+// Package service implements the per-machine TraceBack service
+// process (paper §3.6.1, §3.7.5): runtimes register with it, it
+// exchanges heartbeats to detect hung processes, it triggers external
+// snaps on request (including for processes that died abruptly), and
+// it coordinates group snaps across related processes — locally and
+// across machines.
+package service
+
+import (
+	"fmt"
+
+	"traceback/internal/snap"
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+)
+
+// Service is one machine's TraceBack service process.
+type Service struct {
+	machine *vm.Machine
+	// HangCycles is how long a process may go without executing an
+	// instruction before the STATUS check declares it hung.
+	HangCycles uint64
+
+	runtimes []*tbrt.Runtime
+	peers    []*Service
+
+	// groups lists process-name groups that snap together.
+	groups [][]string
+
+	// Snaps collects snaps the service triggered.
+	Snaps []*snap.Snap
+}
+
+// New creates the machine's service process.
+func New(m *vm.Machine, hangCycles uint64) *Service {
+	if hangCycles == 0 {
+		hangCycles = 500_000
+	}
+	return &Service{machine: m, HangCycles: hangCycles}
+}
+
+// Register adds a runtime to the service (the runtime side of the
+// local protocol).
+func (s *Service) Register(rt *tbrt.Runtime) { s.runtimes = append(s.runtimes, rt) }
+
+// Peer connects this service to another machine's service for
+// cross-machine group snaps.
+func (s *Service) Peer(other *Service) {
+	s.peers = append(s.peers, other)
+	other.peers = append(other.peers, s)
+}
+
+// Group declares that the named processes form an application group:
+// a fault in any of them snaps all of them (paper §3.6.1).
+func (s *Service) Group(names ...string) {
+	s.groups = append(s.groups, names)
+}
+
+// CheckStatus performs the heartbeat sweep: every registered runtime
+// whose process is alive but has made no progress within HangCycles
+// is declared hung and snapped (with its group). Returns the hung
+// process names.
+func (s *Service) CheckStatus() []string {
+	var hung []string
+	now := s.machine.Clock()
+	for _, rt := range s.runtimes {
+		p := rt.Proc()
+		if p.Exited || !p.Alive() {
+			continue
+		}
+		if now-p.LastProgress() < s.HangCycles {
+			continue
+		}
+		hung = append(hung, p.Name)
+		if rt.PolicyHang() {
+			if sn := rt.TakeSnap(tbrt.SnapReason{Kind: "hang", Detail: "heartbeat timeout"}); sn != nil {
+				s.Snaps = append(s.Snaps, sn)
+			}
+			s.snapGroupOf(p.Name)
+		}
+	}
+	return hung
+}
+
+// ExternalSnap snaps a process by name — the external snap utility
+// for hung or unresponsive processes (paper §3.6). Works on dead
+// processes too, reading the trace region out of their memory.
+func (s *Service) ExternalSnap(name string) (*snap.Snap, error) {
+	for _, rt := range s.runtimes {
+		if rt.Proc().Name != name {
+			continue
+		}
+		var sn *snap.Snap
+		if rt.Proc().Exited {
+			sn = rt.PostMortemSnap()
+		} else {
+			sn = rt.TakeSnap(tbrt.SnapReason{Kind: "external", Detail: "snap utility"})
+		}
+		if sn != nil {
+			s.Snaps = append(s.Snaps, sn)
+		}
+		return sn, nil
+	}
+	return nil, fmt.Errorf("service: no registered process %q", name)
+}
+
+// NotifyFault is called when a runtime snaps on a fault; the service
+// propagates a group snap to related processes, including those on
+// peer machines.
+func (s *Service) NotifyFault(name string) {
+	s.snapGroupOf(name)
+}
+
+func (s *Service) snapGroupOf(name string) {
+	seen := map[*Service]bool{s: true}
+	all := append([]*Service{s}, s.peers...)
+	for _, g := range s.groups {
+		member := false
+		for _, n := range g {
+			if n == name {
+				member = true
+			}
+		}
+		if !member {
+			continue
+		}
+		for _, n := range g {
+			if n == name {
+				continue
+			}
+			for _, svc := range all {
+				if seen[svc] && svc != s {
+					continue
+				}
+				for _, rt := range svc.runtimes {
+					if rt.Proc().Name == n && !rt.Proc().Exited {
+						if sn := rt.TakeSnap(tbrt.SnapReason{Kind: "group", Detail: "fault in " + name}); sn != nil {
+							s.Snaps = append(s.Snaps, sn)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// AllSnaps gathers every snap from every registered runtime plus the
+// service's own — the input set for distributed reconstruction.
+func (s *Service) AllSnaps() []*snap.Snap {
+	var out []*snap.Snap
+	for _, rt := range s.runtimes {
+		out = append(out, rt.Snaps()...)
+	}
+	return out
+}

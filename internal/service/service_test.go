@@ -1,0 +1,252 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"traceback/internal/core"
+	"traceback/internal/minic"
+	"traceback/internal/recon"
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+)
+
+func buildApp(t *testing.T, src string) *core.Result {
+	t.Helper()
+	mod, err := minic.Compile("app", "app.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const hangSrc = `int m;
+int main() {
+	mutex_lock(&m);
+	mutex_lock(&m);
+	exit(0);
+}`
+
+func TestHangDetectionAndSnap(t *testing.T) {
+	res := buildApp(t, hangSrc)
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	p, rt, err := tbrt.NewProcess(mach, "hung-app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	svc := New(mach, 10_000)
+	svc.Register(rt)
+
+	w.Run(1000, func() bool { return p.Exited })
+	if p.Exited {
+		t.Fatal("self-deadlock exited?")
+	}
+	// Not yet hung by the threshold.
+	if hung := svc.CheckStatus(); len(hung) != 0 {
+		t.Fatalf("hung too early: %v", hung)
+	}
+	mach.SetClock(mach.Clock() + 50_000)
+	hung := svc.CheckStatus()
+	if len(hung) != 1 || hung[0] != "hung-app" {
+		t.Fatalf("hung = %v", hung)
+	}
+	if len(svc.Snaps) != 1 {
+		t.Fatalf("%d snaps", len(svc.Snaps))
+	}
+	if !strings.Contains(svc.Snaps[0].Reason, "hang") {
+		t.Errorf("reason = %q", svc.Snaps[0].Reason)
+	}
+	// The hang snap reconstructs and names the blocking syscall.
+	pt, err := recon.Reconstruct(svc.Snaps[0], recon.NewMapSet(res.Map))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	recon.Render(&sb, pt, recon.RenderOptions{})
+	if !strings.Contains(sb.String(), "mutex-lock") {
+		t.Errorf("hang view missing the blocking syscall:\n%s", sb.String())
+	}
+}
+
+func TestHangPolicyOff(t *testing.T) {
+	res := buildApp(t, hangSrc)
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	pol := tbrt.DefaultPolicy()
+	pol.Hang = false
+	p, rt, err := tbrt.NewProcess(mach, "hung-app", tbrt.Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	svc := New(mach, 10_000)
+	svc.Register(rt)
+	w.Run(1000, nil)
+	mach.SetClock(mach.Clock() + 50_000)
+	// Detection still reports the hang, but policy suppresses snaps.
+	if hung := svc.CheckStatus(); len(hung) != 1 {
+		t.Fatalf("hung = %v", hung)
+	}
+	if len(svc.Snaps) != 0 {
+		t.Errorf("%d snaps despite hang policy off", len(svc.Snaps))
+	}
+}
+
+func TestExternalSnapOfDeadProcess(t *testing.T) {
+	res := buildApp(t, `int main() {
+	int i = 0;
+	while (1) { i = i + 1; }
+	exit(0);
+}`)
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	p, rt, err := tbrt.NewProcess(mach, "victim", tbrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	svc := New(mach, 0)
+	svc.Register(rt)
+	w.Run(2000, nil)
+	mach.KillProcess(p)
+
+	s, err := svc.ExternalSnap("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || !strings.Contains(s.Reason, "post-mortem") {
+		t.Fatalf("snap = %+v", s)
+	}
+	pt, err := recon.Reconstruct(s, recon.NewMapSet(res.Map))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, tt := range pt.Threads {
+		for _, e := range tt.Events {
+			if e.Kind == recon.EvLine {
+				lines++
+			}
+		}
+	}
+	if lines == 0 {
+		t.Error("external snap of dead process recovered nothing")
+	}
+}
+
+func TestExternalSnapUnknownProcess(t *testing.T) {
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	svc := New(mach, 0)
+	if _, err := svc.ExternalSnap("nope"); err == nil {
+		t.Error("unknown process accepted")
+	}
+}
+
+func TestGroupSnap(t *testing.T) {
+	// Two related processes; one faults; both get snapped.
+	faulty := buildApp(t, `int main() {
+	int z = 0;
+	exit(1 / z);
+}`)
+	healthyMod, err := minic.Compile("helper", "helper.mc", `int main() {
+	int i = 0;
+	while (1) { i = i + 1; yield(); }
+	exit(0);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := core.Instrument(healthyMod, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	pf, rtf, err := tbrt.NewProcess(mach, "frontend", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Load(faulty.Module)
+	ph, rth, err := tbrt.NewProcess(mach, "dbconn", tbrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph.Load(healthy.Module)
+
+	svc := New(mach, 0)
+	svc.Register(rtf)
+	svc.Register(rth)
+	svc.Group("frontend", "dbconn")
+
+	pf.StartMain(0)
+	ph.StartMain(0)
+	w.Run(50_000, func() bool { return pf.Exited })
+	if !pf.Exited {
+		t.Fatal("faulty process still running")
+	}
+	// The runtime snapped the faulting process; the group propagation
+	// is driven by the service being told about the fault.
+	svc.NotifyFault("frontend")
+	found := false
+	for _, s := range rth.Snaps() {
+		if strings.Contains(s.Reason, "group") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("related process was not group-snapped")
+	}
+}
+
+func TestCrossMachineGroupSnap(t *testing.T) {
+	app := buildApp(t, `int main() {
+	int i = 0;
+	while (1) { i = i + 1; yield(); }
+	exit(0);
+}`)
+	w := vm.NewWorld(1)
+	m1 := w.NewMachine("m1", 0)
+	m2 := w.NewMachine("m2", 0)
+	p1, rt1, err := tbrt.NewProcess(m1, "web", tbrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Load(app.Module)
+	p2, rt2, err := tbrt.NewProcess(m2, "db", tbrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Load(app.Module)
+	p1.StartMain(0)
+	p2.StartMain(0)
+	w.Run(1000, nil)
+
+	s1 := New(m1, 0)
+	s1.Register(rt1)
+	s2 := New(m2, 0)
+	s2.Register(rt2)
+	s1.Peer(s2)
+	s1.Group("web", "db")
+
+	s1.NotifyFault("web")
+	found := false
+	for _, s := range rt2.Snaps() {
+		if strings.Contains(s.Reason, "group") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cross-machine group snap did not reach the peer")
+	}
+}

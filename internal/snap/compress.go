@@ -1,0 +1,45 @@
+package snap
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// The paper notes that trace buffers are "readily compressible by a
+// factor of 10 or more for ease of archiving or transmission": DAG
+// records repeat heavily (hot loops re-record the same header word).
+// SaveCompressed/LoadAuto provide that archival form.
+
+// SaveCompressed writes the snap as gzip-compressed JSON.
+func (s *Snap) SaveCompressed(w io.Writer) error {
+	zw, err := gzip.NewWriterLevel(w, gzip.BestCompression)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(zw); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// LoadAuto reads a snap in either plain-JSON or gzip form, sniffing
+// the magic bytes.
+func LoadAuto(r io.Reader) (*Snap, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("snap: %w", err)
+		}
+		defer zr.Close()
+		return Load(zr)
+	}
+	return Load(br)
+}

@@ -1,0 +1,161 @@
+package tbrt
+
+import (
+	"traceback/internal/trace"
+	"traceback/internal/vm"
+)
+
+// assignBuffer moves a probationary thread onto a real buffer: the
+// first free main buffer, or the shared desperation buffer when none
+// is available (paper §3.1.1). A ThreadStart record is written so
+// reconstruction can split buffers that house several thread
+// lifetimes.
+func (rt *Runtime) assignBuffer(t *vm.Thread) *buffer {
+	var b *buffer
+	if len(rt.free) > 0 {
+		b = rt.free[0]
+		rt.free = rt.free[1:]
+	} else {
+		b = rt.desperation
+		rt.Desperations++
+	}
+	rt.byThread[t.TID] = b
+	rt.hdrWrite(b, hdrOwner, uint32(t.TID))
+	rt.hdrWrite(b, hdrLastPtr, 0)
+
+	// Resume where the previous owner stopped (records are gradually
+	// overwritten, paper §3.1.2); a fresh buffer starts at the top.
+	resume := rt.resumePoint(b)
+	rt.setTLSPtr(t, resume)
+	rt.appendWordsRaw(t, b, trace.AppendThreadStart(nil, uint32(t.TID), rt.now()))
+	return b
+}
+
+// resumePoint returns the cursor for a newly assigned buffer: 4 bytes
+// before the first data word (the next append lands on word 0), or
+// the previous owner's release point.
+func (rt *Runtime) resumePoint(b *buffer) uint64 {
+	if last := rt.hdrRead(b, hdrLastPtr); last != 0 {
+		return uint64(last)
+	}
+	return b.dataAddr - 4
+}
+
+// allocSlot advances the thread's cursor by one record slot, handling
+// sentinel hits (sub-buffer commit / wrap) and returns the slot
+// address. TLS is updated to the slot (it becomes the "last written"
+// record once the caller stores into it).
+func (rt *Runtime) allocSlot(t *vm.Thread, b *buffer) uint64 {
+	next := rt.tlsPtr(t) + 4
+	if w, ok := rt.proc.ReadU32(next); !ok || w == trace.Sentinel {
+		next = rt.wrap(t, b, next)
+	}
+	rt.setTLSPtr(t, next)
+	return next
+}
+
+// wrap handles a sentinel hit at address at (paper §3.1, §3.2): the
+// just-filled sub-buffer is committed (its index recorded in the
+// buffer header) and the next sub-buffer is zeroed so that a dead
+// thread's progress can be found by scanning for the last non-zero
+// entry. When the final sub-buffer fills, writing wraps to the first.
+// Threads in the desperation buffer take this opportunity to move to
+// a real buffer if one has freed up (paper §3.1).
+func (rt *Runtime) wrap(t *vm.Thread, b *buffer, at uint64) uint64 {
+	rt.Wraps++
+	if b.kind == bufDesperation && len(rt.free) > 0 {
+		nb := rt.assignBuffer(t)
+		return rt.allocSlot(t, nb)
+	}
+	idx, ok := b.wordIndex(at)
+	if !ok {
+		// Cursor outside the buffer (fresh assignment path): restart
+		// at the top.
+		idx = b.words - 1
+	}
+	sub := idx / b.subWords
+	if b.subs > 1 {
+		rt.hdrWrite(b, hdrCommitted, uint32(sub))
+		rt.SubCommits++
+	}
+	nextSub := (sub + 1) % b.subs
+	start := nextSub * b.subWords
+	// Zero the next sub-buffer's data words, preserving its sentinel.
+	for i := start; i < start+b.subWords-1; i++ {
+		rt.proc.WriteU32(b.dataAddr+uint64(i)*4, trace.Invalid)
+	}
+	return b.dataAddr + uint64(start)*4
+}
+
+// appendWordsRaw appends words through the thread's cursor.
+func (rt *Runtime) appendWordsRaw(t *vm.Thread, b *buffer, words []trace.Word) {
+	for _, w := range words {
+		slot := rt.allocSlot(t, b)
+		rt.proc.WriteU32(slot, w)
+	}
+}
+
+// appendEvent writes extended records into the thread's buffer. If a
+// DAG record is in progress (the cursor points at one), it is
+// re-issued after the event so the run's remaining lightweight probes
+// OR into a valid slot; reconstruction merges the re-issue (see
+// trace.KindReissue).
+func (rt *Runtime) appendEvent(t *vm.Thread, words []trace.Word) {
+	b := rt.byThread[t.TID]
+	if b == nil || b.kind == bufProbation {
+		return
+	}
+	cur, ok := rt.proc.ReadU32(rt.tlsPtr(t))
+	rt.appendWordsRaw(t, b, words)
+	if ok && trace.IsDAG(cur) && cur != trace.Sentinel {
+		rt.appendWordsRaw(t, b, trace.AppendReissueMark(nil))
+		slot := rt.allocSlot(t, b)
+		rt.proc.WriteU32(slot, cur)
+	}
+}
+
+// releaseBuffer ends a thread's use of its buffer: a ThreadEnd record
+// is written, the release point saved in the header, and the buffer
+// freed for reassignment (paper §3.1.2).
+func (rt *Runtime) releaseBuffer(t *vm.Thread, orderly bool) {
+	b := rt.byThread[t.TID]
+	if b == nil {
+		return
+	}
+	delete(rt.byThread, t.TID)
+	if b.kind == bufProbation {
+		return
+	}
+	if orderly {
+		rt.appendWordsRaw(t, b, trace.AppendThreadEnd(nil, uint32(t.TID), rt.now()))
+		rt.hdrWrite(b, hdrLastPtr, uint32(rt.tlsPtr(t)))
+	} else {
+		// Abrupt death: the thread's TLS is considered lost. Park the
+		// cursor at the start of the first uncommitted sub-buffer and
+		// write the termination record there; the dead thread's
+		// uncommitted tail is sacrificed (paper §3.1.2, §3.2).
+		committed := int(rt.hdrRead(b, hdrCommitted))
+		start := ((committed + 1) % b.subs) * b.subWords
+		rt.hdrWrite(b, hdrLastPtr, uint32(b.dataAddr+uint64(start)*4-4))
+	}
+	if b.kind == bufMain {
+		rt.hdrWrite(b, hdrOwner, 0)
+		rt.free = append(rt.free, b)
+	}
+}
+
+// ScavengeDeadThreads looks for threads that terminated without
+// notifying the runtime (abrupt kills) and reclaims their buffers
+// (paper §3.1.2's dead-thread scavenging pass).
+func (rt *Runtime) ScavengeDeadThreads() int {
+	n := 0
+	for tid, b := range rt.byThread {
+		t := rt.proc.Threads[tid]
+		if t == nil || (t.State == vm.Exited && t.KilledAbruptly) {
+			_ = b
+			rt.releaseBuffer(t, false)
+			n++
+		}
+	}
+	return n
+}

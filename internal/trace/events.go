@@ -1,0 +1,184 @@
+package trace
+
+import "fmt"
+
+// SyncPoint identifies where in an RPC exchange a SYNC record was
+// written. A full RPC produces four SYNCs with the same logical
+// thread and successive sequence numbers (paper §5.1): call-send and
+// reply-recv in the caller's buffer, call-recv and reply-send in the
+// callee's.
+type SyncPoint uint16
+
+const (
+	SyncCallSend SyncPoint = iota
+	SyncCallRecv
+	SyncReplySend
+	SyncReplyRecv
+)
+
+func (p SyncPoint) String() string {
+	switch p {
+	case SyncCallSend:
+		return "call-send"
+	case SyncCallRecv:
+		return "call-recv"
+	case SyncReplySend:
+		return "reply-send"
+	case SyncReplyRecv:
+		return "reply-recv"
+	}
+	return fmt.Sprintf("syncpoint(%d)", uint16(p))
+}
+
+// Sync is a decoded SYNC record binding a physical thread's trace
+// segment into a logical thread.
+type Sync struct {
+	Point         SyncPoint
+	RuntimeID     uint64 // unique ID of the runtime that wrote the record
+	LogicalThread uint32
+	Seq           uint32
+	TS            uint64
+}
+
+// AppendSync appends an encoded SYNC record to buf.
+func AppendSync(buf []Word, s Sync) []Word {
+	rlo, rhi := SplitU64(s.RuntimeID)
+	tlo, thi := SplitU64(s.TS)
+	return AppendExtended(buf, KindSync, uint16(s.Point),
+		rlo, rhi, Word(s.LogicalThread), Word(s.Seq), tlo, thi)
+}
+
+// DecodeSync decodes a KindSync record.
+func DecodeSync(r Record) (Sync, error) {
+	if r.Kind != KindSync || len(r.Payload) != 6 {
+		return Sync{}, fmt.Errorf("trace: not a sync record: %v/%d words", r.Kind, len(r.Payload))
+	}
+	return Sync{
+		Point:         SyncPoint(r.Small),
+		RuntimeID:     JoinU64(r.Payload[0], r.Payload[1]),
+		LogicalThread: r.Payload[2],
+		Seq:           r.Payload[3],
+		TS:            JoinU64(r.Payload[4], r.Payload[5]),
+	}, nil
+}
+
+// Exception is a decoded exception/signal record. Addr is the
+// absolute code address of the faulting instruction, which
+// reconstruction uses to trim the last block's lines (paper §4.2).
+type Exception struct {
+	Code uint16 // signal / exception number
+	Addr uint64
+	TS   uint64
+}
+
+// AppendException appends an encoded exception record to buf.
+func AppendException(buf []Word, e Exception) []Word {
+	alo, ahi := SplitU64(e.Addr)
+	tlo, thi := SplitU64(e.TS)
+	return AppendExtended(buf, KindException, e.Code, alo, ahi, tlo, thi)
+}
+
+// DecodeException decodes a KindException record.
+func DecodeException(r Record) (Exception, error) {
+	if r.Kind != KindException || len(r.Payload) != 4 {
+		return Exception{}, fmt.Errorf("trace: not an exception record")
+	}
+	return Exception{
+		Code: r.Small,
+		Addr: JoinU64(r.Payload[0], r.Payload[1]),
+		TS:   JoinU64(r.Payload[2], r.Payload[3]),
+	}, nil
+}
+
+// AppendExceptionEnd records that control returned from a signal
+// handler to the interrupted code (paper §3.7.3).
+func AppendExceptionEnd(buf []Word, ts uint64) []Word {
+	lo, hi := SplitU64(ts)
+	return AppendExtended(buf, KindExceptionEnd, 0, lo, hi)
+}
+
+// DecodeTS decodes the timestamp payload shared by KindTimestamp,
+// KindExceptionEnd, and KindSnapMark records.
+func DecodeTS(r Record) (uint64, error) {
+	if len(r.Payload) != 2 {
+		return 0, fmt.Errorf("trace: %v record has %d payload words, want 2", r.Kind, len(r.Payload))
+	}
+	return JoinU64(r.Payload[0], r.Payload[1]), nil
+}
+
+// AppendTimestamp appends an explicit timestamp record.
+func AppendTimestamp(buf []Word, ts uint64) []Word {
+	lo, hi := SplitU64(ts)
+	return AppendExtended(buf, KindTimestamp, 0, lo, hi)
+}
+
+// AppendSnapMark appends a snap marker.
+func AppendSnapMark(buf []Word, ts uint64) []Word {
+	lo, hi := SplitU64(ts)
+	return AppendExtended(buf, KindSnapMark, 0, lo, hi)
+}
+
+// AppendReissueMark appends the marker that flags the next DAG record
+// as a mid-run re-issue rather than a fresh execution.
+func AppendReissueMark(buf []Word) []Word {
+	return AppendExtended(buf, KindReissue, 0)
+}
+
+// SyscallMark is a decoded synchronization-point timestamp probe.
+type SyscallMark struct {
+	Num  uint16 // syscall number
+	Addr uint64 // code address of the SYS instruction
+	TS   uint64
+}
+
+// AppendSyscallMark appends a synchronization-point record.
+func AppendSyscallMark(buf []Word, m SyscallMark) []Word {
+	alo, ahi := SplitU64(m.Addr)
+	tlo, thi := SplitU64(m.TS)
+	return AppendExtended(buf, KindSyscallMark, m.Num, alo, ahi, tlo, thi)
+}
+
+// DecodeSyscallMark decodes a KindSyscallMark record.
+func DecodeSyscallMark(r Record) (SyscallMark, error) {
+	if r.Kind != KindSyscallMark || len(r.Payload) != 4 {
+		return SyscallMark{}, fmt.Errorf("trace: not a syscall-mark record")
+	}
+	return SyscallMark{
+		Num:  r.Small,
+		Addr: JoinU64(r.Payload[0], r.Payload[1]),
+		TS:   JoinU64(r.Payload[2], r.Payload[3]),
+	}, nil
+}
+
+// ThreadEvent is a decoded thread start/end record. Buffers can house
+// several thread lifetimes in sequence (paper §3.1.2); these records
+// let reconstruction split a buffer's stream by thread.
+type ThreadEvent struct {
+	Start bool
+	TID   uint32
+	TS    uint64
+}
+
+// AppendThreadStart marks buffer assignment to thread tid.
+func AppendThreadStart(buf []Word, tid uint32, ts uint64) []Word {
+	lo, hi := SplitU64(ts)
+	return AppendExtended(buf, KindThreadStart, 0, Word(tid), lo, hi)
+}
+
+// AppendThreadEnd marks thread termination / buffer release.
+func AppendThreadEnd(buf []Word, tid uint32, ts uint64) []Word {
+	lo, hi := SplitU64(ts)
+	return AppendExtended(buf, KindThreadEnd, 0, Word(tid), lo, hi)
+}
+
+// DecodeThreadEvent decodes a thread start/end record.
+func DecodeThreadEvent(r Record) (ThreadEvent, error) {
+	if (r.Kind != KindThreadStart && r.Kind != KindThreadEnd) || len(r.Payload) != 3 {
+		return ThreadEvent{}, fmt.Errorf("trace: not a thread event record")
+	}
+	return ThreadEvent{
+		Start: r.Kind == KindThreadStart,
+		TID:   r.Payload[0],
+		TS:    JoinU64(r.Payload[1], r.Payload[2]),
+	}, nil
+}

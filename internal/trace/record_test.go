@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDAGWordFields(t *testing.T) {
+	w := DAGWord(0x12345, 0x2A5)
+	if !IsDAG(w) {
+		t.Fatal("DAG word not recognized")
+	}
+	if got := DAGID(w); got != 0x12345 {
+		t.Errorf("DAGID = %#x, want 0x12345", got)
+	}
+	if got := PathBits(w); got != 0x2A5 {
+		t.Errorf("PathBits = %#x, want 0x2a5", got)
+	}
+}
+
+func TestSentinelAndInvalidAreNotRecords(t *testing.T) {
+	if IsDAG(Sentinel) {
+		t.Error("sentinel classified as DAG record")
+	}
+	if IsDAG(Invalid) {
+		t.Error("invalid classified as DAG record")
+	}
+	// The sentinel is the all-ones DAG pattern; BadDAGID stays below it.
+	if DAGWord(BadDAGID, PathMask) == Sentinel {
+		t.Error("bad-DAG record collides with the sentinel")
+	}
+	if BadDAGID <= MaxDAGID {
+		t.Error("BadDAGID must be outside the assignable range")
+	}
+}
+
+// Property (Figure 1): DAG ID and path bits round-trip through the
+// record word for every value in range.
+func TestDAGWordQuick(t *testing.T) {
+	f := func(id uint32, bits uint16) bool {
+		id %= BadDAGID + 1
+		b := Word(bits) & PathMask
+		w := DAGWord(id, b)
+		return IsDAG(w) && DAGID(w) == id && PathBits(w) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncRoundTrip(t *testing.T) {
+	s := Sync{Point: SyncReplySend, RuntimeID: 0xDEADBEEFCAFE, LogicalThread: 7, Seq: 3, TS: 1 << 40}
+	buf := AppendSync(nil, s)
+	recs := MineBackward(buf)
+	if len(recs) != 1 {
+		t.Fatalf("mined %d records", len(recs))
+	}
+	got, err := DecodeSync(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("got %+v, want %+v", got, s)
+	}
+}
+
+func TestExceptionRoundTrip(t *testing.T) {
+	e := Exception{Code: 11, Addr: 0x1234567890, TS: 99}
+	buf := AppendException(nil, e)
+	recs := MineBackward(buf)
+	if len(recs) != 1 {
+		t.Fatalf("mined %d records", len(recs))
+	}
+	got, err := DecodeException(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Errorf("got %+v, want %+v", got, e)
+	}
+}
+
+func TestThreadEventRoundTrip(t *testing.T) {
+	buf := AppendThreadStart(nil, 42, 1000)
+	buf = AppendThreadEnd(buf, 42, 2000)
+	recs := MineBackward(buf) // newest first
+	if len(recs) != 2 {
+		t.Fatalf("mined %d records", len(recs))
+	}
+	end, err := DecodeThreadEvent(recs[0])
+	if err != nil || end.Start || end.TID != 42 || end.TS != 2000 {
+		t.Errorf("end = %+v, err=%v", end, err)
+	}
+	start, err := DecodeThreadEvent(recs[1])
+	if err != nil || !start.Start || start.TID != 42 || start.TS != 1000 {
+		t.Errorf("start = %+v, err=%v", start, err)
+	}
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	buf := AppendTimestamp(nil, 0xFFFFFFFF12345678)
+	recs := MineBackward(buf)
+	if len(recs) != 1 || recs[0].Kind != KindTimestamp {
+		t.Fatalf("recs = %+v", recs)
+	}
+	ts, err := DecodeTS(recs[0])
+	if err != nil || ts != 0xFFFFFFFF12345678 {
+		t.Errorf("ts = %#x, err=%v", ts, err)
+	}
+}
+
+func TestMineBackwardMixedStream(t *testing.T) {
+	var buf []Word
+	buf = AppendThreadStart(buf, 1, 10)
+	buf = append(buf, DAGWord(5, 0x3))
+	buf = append(buf, DAGWord(6, 0x0))
+	buf = AppendSync(buf, Sync{Point: SyncCallSend, RuntimeID: 1, LogicalThread: 2, Seq: 0, TS: 20})
+	buf = append(buf, DAGWord(7, 0x1))
+	buf = AppendException(buf, Exception{Code: 4, Addr: 100, TS: 30})
+
+	recs := MineBackward(buf)
+	Reverse(recs) // oldest first
+	wantKinds := []Kind{KindThreadStart, KindNone, KindNone, KindSync, KindNone, KindException}
+	if len(recs) != len(wantKinds) {
+		t.Fatalf("mined %d records, want %d", len(recs), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if recs[i].Kind != k {
+			t.Errorf("record %d kind = %v, want %v", i, recs[i].Kind, k)
+		}
+	}
+	if recs[1].DAGID != 5 || recs[1].Bits != 0x3 {
+		t.Errorf("first DAG record = %+v", recs[1])
+	}
+}
+
+func TestMineBackwardStopsAtZero(t *testing.T) {
+	buf := []Word{DAGWord(1, 0), Invalid, DAGWord(2, 0), DAGWord(3, 0)}
+	recs := MineBackward(buf)
+	if len(recs) != 2 || recs[0].DAGID != 3 || recs[1].DAGID != 2 {
+		t.Errorf("recs = %+v, want DAGs 3,2 only", recs)
+	}
+}
+
+func TestMineBackwardSkipsSentinels(t *testing.T) {
+	buf := []Word{DAGWord(1, 0), Sentinel, DAGWord(2, 0)}
+	recs := MineBackward(buf)
+	if len(recs) != 2 {
+		t.Fatalf("mined %d records, want 2", len(recs))
+	}
+}
+
+func TestMineBackwardStopsAtTornRecord(t *testing.T) {
+	// A sync record whose head was overwritten by wrap-around: only
+	// the last 3 words survive. Mining must stop without panicking
+	// and without inventing records.
+	full := AppendSync(nil, Sync{Point: SyncCallRecv, RuntimeID: 9, LogicalThread: 1, Seq: 2, TS: 3})
+	torn := full[len(full)-3:]
+	buf := append(append([]Word{}, torn...), DAGWord(10, 0x1))
+	recs := MineBackward(buf)
+	if len(recs) != 1 || recs[0].DAGID != 10 {
+		t.Errorf("recs = %+v, want only DAG 10", recs)
+	}
+}
+
+func TestMineBackwardStopsAtBareHeader(t *testing.T) {
+	// Header word with its payload+trailer overwritten.
+	h := header(KindSync, 8, 0)
+	buf := []Word{h, DAGWord(4, 0)}
+	recs := MineBackward(buf)
+	if len(recs) != 1 || recs[0].DAGID != 4 {
+		t.Errorf("recs = %+v", recs)
+	}
+}
+
+func TestBadDAGRecord(t *testing.T) {
+	buf := []Word{DAGWord(BadDAGID, 0x7)}
+	recs := MineBackward(buf)
+	if len(recs) != 1 || !recs[0].BadDAG() {
+		t.Errorf("recs = %+v, want one bad-DAG record", recs)
+	}
+}
+
+func TestDecodeErrorsOnWrongKind(t *testing.T) {
+	r := Record{Kind: KindTimestamp, Payload: []Word{1, 2}}
+	if _, err := DecodeSync(r); err == nil {
+		t.Error("DecodeSync accepted a timestamp record")
+	}
+	if _, err := DecodeException(r); err == nil {
+		t.Error("DecodeException accepted a timestamp record")
+	}
+	if _, err := DecodeThreadEvent(r); err == nil {
+		t.Error("DecodeThreadEvent accepted a timestamp record")
+	}
+}
+
+// Property: any sequence of well-formed records mines back in full,
+// in reverse order.
+func TestMineBackwardQuick(t *testing.T) {
+	f := func(seed []byte) bool {
+		var buf []Word
+		var want int
+		for _, b := range seed {
+			switch b % 5 {
+			case 0, 1:
+				buf = append(buf, DAGWord(uint32(b), Word(b)&PathMask))
+			case 2:
+				buf = AppendTimestamp(buf, uint64(b)*3)
+			case 3:
+				buf = AppendSync(buf, Sync{RuntimeID: uint64(b), Seq: uint32(b)})
+			case 4:
+				buf = AppendThreadStart(buf, uint32(b), uint64(b))
+			}
+			want++
+		}
+		return len(MineBackward(buf)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindNone; k <= KindSnapMark; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", k)
+		}
+	}
+	for p := SyncCallSend; p <= SyncReplyRecv; p++ {
+		if p.String() == "" {
+			t.Errorf("sync point %d has empty string", p)
+		}
+	}
+}
+
+func TestSyscallMarkRoundTrip(t *testing.T) {
+	m := SyscallMark{Num: 6, Addr: 0x123456789A, TS: 0xFFFFFFFF00000001}
+	buf := AppendSyscallMark(nil, m)
+	recs := MineBackward(buf)
+	if len(recs) != 1 || recs[0].Kind != KindSyscallMark {
+		t.Fatalf("recs = %+v", recs)
+	}
+	got, err := DecodeSyscallMark(recs[0])
+	if err != nil || got != m {
+		t.Errorf("got %+v err=%v, want %+v", got, err, m)
+	}
+	if _, err := DecodeSyscallMark(Record{Kind: KindTimestamp}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestReissueMarkRoundTrip(t *testing.T) {
+	buf := AppendReissueMark(nil)
+	recs := MineBackward(buf)
+	if len(recs) != 1 || recs[0].Kind != KindReissue {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+// Property: payload words that collide with the sentinel or invalid
+// patterns survive mining (the clock-skew regression: a timestamp's
+// high word can be 0xFFFFFFFF).
+func TestMineBackwardSentinelPayloads(t *testing.T) {
+	var buf []Word
+	buf = AppendTimestamp(buf, 0xFFFFFFFF_FFF0BDCE)
+	buf = AppendSync(buf, Sync{RuntimeID: 0xFFFFFFFF_00000000, TS: 0xFFFFFFFF_FFFFFFF0})
+	buf = append(buf, DAGWord(3, 1))
+	recs := MineBackward(buf)
+	if len(recs) != 3 {
+		t.Fatalf("mined %d records, want 3", len(recs))
+	}
+	ts, err := DecodeTS(recs[2])
+	if err != nil || ts != 0xFFFFFFFF_FFF0BDCE {
+		t.Errorf("timestamp payload corrupted: %x err=%v", ts, err)
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"traceback/internal/mvm"
+	"traceback/internal/vm"
+)
+
+// The PetShop paragraph (paper §6): a managed (.NET-analog) web
+// application under request load. Each request parses (bytecode
+// work), performs a "database query" (disk I/O cycles), renders
+// (bytecode work), and sends the page (network cycles). With device
+// time dominating and only line-boundary probes in the managed code,
+// the throughput drop lands near the paper's 1%.
+
+func buildPetShop() *mvm.Module {
+	b := mvm.NewBuilder("PetShop", "PetShop.java")
+
+	// handle(id) -> bytes sent
+	h := b.Method("handle", 1, 4)
+	// parse: small hash loop
+	h.Line(5).I(mvm.CONST, 0).I(mvm.STOREL, 1, 0)
+	h.Line(6).I(mvm.CONST, 0).I(mvm.STOREL, 2, 0)
+	h.Label("parse")
+	h.I(mvm.LOADL, 2, 0).I(mvm.CONST, 12).I(mvm.CMPLT).Br(mvm.IFZ, "parsed")
+	h.Line(7).I(mvm.LOADL, 1, 0).I(mvm.CONST, 31).I(mvm.MUL).I(mvm.LOADL, 0, 0).I(mvm.ADD).
+		I(mvm.CONST, 65536).I(mvm.MOD).I(mvm.STOREL, 1, 0)
+	h.Line(8).I(mvm.LOADL, 2, 0).I(mvm.CONST, 1).I(mvm.ADD).I(mvm.STOREL, 2, 0).Br(mvm.GOTO, "parse")
+	h.Label("parsed")
+	// db query: read product row (disk)
+	h.Line(10).I(mvm.CONST, 4096).I(mvm.IOREAD).I(mvm.POP)
+	// render: arithmetic over the "row"
+	h.Line(11).I(mvm.LOADL, 1, 0).I(mvm.CONST, 97).I(mvm.MOD).I(mvm.CONST, 2048).I(mvm.ADD).I(mvm.STOREL, 3, 0)
+	// send page
+	h.Line(12).I(mvm.LOADL, 3, 0).I(mvm.NETSENDB).I(mvm.POP)
+	h.Line(13).I(mvm.LOADL, 3, 0).I(mvm.RET)
+	h.Done()
+
+	// worker(n) -> bytes
+	wkr := b.Method("worker", 1, 3)
+	wkr.Line(20).I(mvm.CONST, 0).I(mvm.STOREL, 1, 0)
+	wkr.Line(21).I(mvm.CONST, 0).I(mvm.STOREL, 2, 0)
+	wkr.Label("loop")
+	wkr.I(mvm.LOADL, 2, 0).I(mvm.LOADL, 0, 0).I(mvm.CMPLT).Br(mvm.IFZ, "end")
+	wkr.Line(22).I(mvm.LOADL, 1, 0).I(mvm.LOADL, 2, 0).I(mvm.CALL, 0).I(mvm.ADD).I(mvm.STOREL, 1, 0)
+	wkr.Line(23).I(mvm.LOADL, 2, 0).I(mvm.CONST, 1).I(mvm.ADD).I(mvm.STOREL, 2, 0).Br(mvm.GOTO, "loop")
+	wkr.Label("end")
+	wkr.Line(24).I(mvm.LOADL, 1, 0).I(mvm.RET)
+	wkr.Done()
+	return b.MustBuild()
+}
+
+// PetShopResult compares request throughput.
+type PetShopResult struct {
+	ReqPerSecNormal float64
+	ReqPerSecTB     float64
+	Drop            float64 // fractional throughput reduction
+}
+
+// RunPetShop measures the PetShop-like workload with the given
+// number of worker threads and requests per worker.
+func RunPetShop(workers, requests int) (PetShopResult, error) {
+	mod := buildPetShop()
+	run := func(instrumented bool) (float64, error) {
+		m := mod
+		var err error
+		if instrumented {
+			m, _, err = mvm.Instrument(mod, 0)
+			if err != nil {
+				return 0, err
+			}
+		}
+		w := vm.NewWorld(88)
+		mach := w.NewMachine("dell600sc", 0)
+		v := mvm.New(mach, nil, "petshop", mvm.RuntimeConfig{})
+		if _, err := v.Load(m); err != nil {
+			return 0, err
+		}
+		var threads []*mvm.MThread
+		for i := 0; i < workers; i++ {
+			th, err := v.Start("worker", int64(requests))
+			if err != nil {
+				return 0, err
+			}
+			threads = append(threads, th)
+		}
+		v.Run(1<<30, func() bool {
+			for _, th := range threads {
+				if th.State != mvm.MDone {
+					return false
+				}
+			}
+			return true
+		})
+		for _, th := range threads {
+			if th.Uncaught != 0 {
+				return 0, fmt.Errorf("petshop worker threw %s", mvm.ExcName(th.Uncaught))
+			}
+		}
+		total := workers * requests
+		secs := float64(mach.Clock()) / (cyclesPerMs * 1000)
+		return float64(total) / secs, nil
+	}
+	normal, err := run(false)
+	if err != nil {
+		return PetShopResult{}, err
+	}
+	tb, err := run(true)
+	if err != nil {
+		return PetShopResult{}, err
+	}
+	return PetShopResult{
+		ReqPerSecNormal: normal,
+		ReqPerSecTB:     tb,
+		Drop:            1 - tb/normal,
+	}, nil
+}

@@ -1,0 +1,609 @@
+// Package workload contains the evaluation workloads: MiniC kernels
+// shaped after the SPECint2000 suite (Table 1), a web-server workload
+// (Table 2, SPECweb99 on Apache), a managed warehouse benchmark
+// (Table 3, SPECjbb), and a managed web application (the PetShop
+// paragraph). The kernels are not the SPEC programs — they are
+// synthetic stand-ins whose CODE SHAPE reproduces what made each SPEC
+// program cheap or expensive to instrument: tight loops with high
+// register pressure (gzip's longest_match), call-dense interpreters
+// (perlbmk), branchy translation units (gcc), and memory-latency-
+// bound kernels (mcf, art, equake, mesa, ammp) whose probe cost is
+// hidden behind data access.
+package workload
+
+// SpecProgram describes one Table 1 row.
+type SpecProgram struct {
+	Name string
+	Src  string
+	// Arg scales the reference run.
+	Arg uint64
+	// PaperRatio is the TraceBack/Normal ratio Table 1 reports.
+	PaperRatio float64
+}
+
+// SpecInt lists the Table 1 programs in the paper's order.
+var SpecInt = []SpecProgram{
+	{"ammp", srcAmmp, 60, 1.23},
+	{"art", srcArt, 40, 1.10},
+	{"bzip2", srcBzip2, 24, 1.72},
+	{"crafty", srcCrafty, 500, 1.77},
+	{"eon", srcEon, 400, 1.70},
+	{"equake", srcEquake, 40, 1.12},
+	{"gap", srcGap, 300, 1.74},
+	{"gcc", srcGcc, 300, 1.98},
+	{"gzip", srcGzip, 60, 1.97},
+	{"mcf", srcMcf, 50, 1.21},
+	{"mesa", srcMesa, 48, 1.18},
+	{"parser", srcParser, 120, 1.84},
+	{"perlbmk", srcPerlbmk, 250, 2.50},
+	{"vortex", srcVortex, 200, 2.13},
+	{"vpr", srcVpr, 80, 1.48},
+}
+
+// SpecByName returns a program by name.
+func SpecByName(name string) (SpecProgram, bool) {
+	for _, p := range SpecInt {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return SpecProgram{}, false
+}
+
+// gzip: the longest_match shape — a tight inner loop comparing
+// windows, with enough simultaneously-live scalars that the probe
+// inserter finds no dead register and must spill (paper §6's 30%-of-
+// slowdown analysis).
+const srcGzip = `int window[4096];
+int wmask;
+int nice;
+int longest_match(int cur, int prevlen, int maxchain) {
+	int best = prevlen;
+	int chain = maxchain;
+	int scan = cur;
+	int match = (cur * 61 + 17) & wmask;
+	while (chain > 0) {
+		int m = match;
+		int s = scan;
+		int len = 0;
+		while (len < 64) {
+			if (window[s + len] != window[m + len]) { break; }
+			len = len + 1;
+		}
+		if (len > best) {
+			best = len;
+			if (best >= nice) { return best; }
+		}
+		match = (match * 31 + 7) & wmask;
+		chain = chain - 1;
+	}
+	return best;
+}
+int main() {
+	int n = getarg();
+	wmask = 2047;
+	nice = 58;
+	for (int i = 0; i < 4096; i = i + 1) window[i] = (i * i + 3) % 17;
+	int total = 0;
+	for (int pos = 0; pos < n; pos = pos + 1) {
+		total = total + longest_match((pos * 7) & 2047, 2, 32);
+	}
+	exit(total % 251);
+}`
+
+// perlbmk: an opcode-dispatch interpreter with many tiny functions —
+// call-dense code breaks DAGs at every return point, the paper's
+// worst case (ratio 2.50).
+const srcPerlbmk = `int stackv[64];
+int sp;
+int op_push(int v) { stackv[sp] = v; sp = sp + 1; return 0; }
+int op_pop() { sp = sp - 1; return stackv[sp]; }
+int op_add() { if (sp < 2) return 0; int b = op_pop(); int a = op_pop(); op_push(a + b); return 0; }
+int op_sub() { if (sp < 2) return 0; int b = op_pop(); int a = op_pop(); op_push(a - b); return 0; }
+int op_mul() { if (sp < 2) return 0; int b = op_pop(); int a = op_pop(); op_push(a * b % 65536); return 0; }
+int op_dup() { if (sp < 1) return 0; int a = op_pop(); op_push(a); op_push(a); return 0; }
+int op_mod() { if (sp < 2) return 0; int b = op_pop(); int a = op_pop(); op_push(a % (b + 1)); return 0; }
+int dispatch(int op, int v) {
+	switch (op) {
+	case 0: op_push(v);
+	case 1: op_add();
+	case 2: op_sub();
+	case 3: op_mul();
+	case 4: op_dup();
+	case 5: op_mod();
+	}
+	return 0;
+}
+int main() {
+	int n = getarg();
+	int acc = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		sp = 0;
+		op_push(i);
+		for (int k = 0; k < 12; k = k + 1) {
+			dispatch((i + k * 5) % 6, k + 1);
+			if (sp < 2) { op_push(k + 3); }
+			if (sp > 48) { sp = 2; }
+		}
+		acc = acc + stackv[0];
+	}
+	exit(acc % 251);
+}`
+
+// gcc: many small branchy functions over a token stream — dense
+// control flow, small blocks, near-worst-case probe density.
+const srcGcc = `int toks[512];
+int fold(int a, int b, int op) {
+	if (op == 0) return a + b;
+	if (op == 1) return a - b;
+	if (op == 2) { if (b != 0) return a / b; return a; }
+	return a * b % 4096;
+}
+int classify(int t) {
+	if (t < 16) return 0;
+	if (t < 64) { if (t % 3 == 0) return 1; return 2; }
+	if (t % 7 < 3) return 3;
+	return 4;
+}
+int propagate(int i) {
+	int t = toks[i];
+	int c = classify(t);
+	if (c == 0) { toks[i] = fold(t, i, 0); return 1; }
+	if (c == 1) { toks[i] = fold(t, 3, 1); return 1; }
+	if (c == 2) { toks[i] = fold(t, i + 1, 2); return 0; }
+	if (c == 3) { toks[i] = fold(t, 5, 3); return 0; }
+	return 0;
+}
+int main() {
+	int n = getarg();
+	for (int i = 0; i < 512; i = i + 1) toks[i] = (i * 37 + 11) % 509;
+	int changed = 0;
+	for (int pass = 0; pass < n; pass = pass + 1) {
+		for (int i = 0; i < 512; i = i + 1) {
+			changed = changed + propagate(i);
+		}
+	}
+	exit(changed % 251);
+}`
+
+// vortex: an object-store: insert/lookup/delete over hashed slots,
+// call-heavy with moderate memory traffic.
+const srcVortex = `int keys[1024];
+int vals[1024];
+int hash(int k) { return (k * 40503) & 1023; }
+int insert(int k, int v) {
+	int h = hash(k);
+	int probes = 0;
+	while (keys[h] != 0 && probes < 64) { h = (h + 1) & 1023; probes = probes + 1; }
+	keys[h] = k;
+	vals[h] = v;
+	return probes;
+}
+int lookup(int k) {
+	int h = hash(k);
+	int probes = 0;
+	while (probes < 64) {
+		if (keys[h] == k) return vals[h];
+		h = (h + 1) & 1023;
+		probes = probes + 1;
+	}
+	return 0;
+}
+int remove_key(int k) {
+	int h = hash(k);
+	int probes = 0;
+	while (probes < 64) {
+		if (keys[h] == k) { keys[h] = 0; return 1; }
+		h = (h + 1) & 1023;
+		probes = probes + 1;
+	}
+	return 0;
+}
+int main() {
+	int n = getarg();
+	int acc = 0;
+	for (int r = 0; r < n; r = r + 1) {
+		for (int i = 1; i <= 40; i = i + 1) {
+			insert(r * 40 + i, i * 3);
+		}
+		for (int i = 1; i <= 40; i = i + 1) {
+			acc = acc + lookup(r * 40 + i);
+		}
+		for (int i = 1; i <= 40; i = i + 1) {
+			remove_key(r * 40 + i);
+		}
+	}
+	exit(acc % 251);
+}`
+
+// parser: recursive-descent expression evaluation over a synthetic
+// token tape — recursion plus branching.
+const srcParser = `int tape[256];
+int pos;
+int parse_atom(int depth) {
+	int t = tape[pos & 255];
+	pos = pos + 1;
+	if (t % 5 == 0 && depth < 8) {
+		return parse_expr(depth + 1);
+	}
+	return t % 97;
+}
+int parse_term(int depth) {
+	int v = parse_atom(depth);
+	while (tape[pos & 255] % 3 == 0 && pos % 7 != 0) {
+		pos = pos + 1;
+		v = v * parse_atom(depth) % 991;
+	}
+	return v;
+}
+int parse_expr(int depth) {
+	int v = parse_term(depth);
+	while (tape[pos & 255] % 2 == 0 && pos % 11 != 0) {
+		pos = pos + 1;
+		v = v + parse_term(depth);
+	}
+	return v;
+}
+int main() {
+	int n = getarg();
+	for (int i = 0; i < 256; i = i + 1) tape[i] = (i * 13 + 7) % 101;
+	int acc = 0;
+	for (int r = 0; r < n; r = r + 1) {
+		pos = r;
+		acc = acc + parse_expr(0);
+	}
+	exit(acc % 251);
+}`
+
+// bzip2: block-sort inner loops — comparison-heavy with array
+// shuffles.
+const srcBzip2 = `int block[512];
+int work[512];
+int sortrun(int lo, int hi) {
+	for (int i = lo + 1; i < hi; i = i + 1) {
+		int v = block[i];
+		int j = i - 1;
+		while (j >= lo && block[j] > v) {
+			block[j + 1] = block[j];
+			j = j - 1;
+		}
+		block[j + 1] = v;
+	}
+	return 0;
+}
+int mtf(int n) {
+	int sum = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		int v = block[i];
+		work[i] = (v * 3 + sum) % 256;
+		sum = sum + work[i];
+	}
+	return sum;
+}
+int main() {
+	int n = getarg();
+	int acc = 0;
+	for (int r = 0; r < n; r = r + 1) {
+		for (int i = 0; i < 512; i = i + 1) block[i] = (i * 29 + r * 7) % 251;
+		sortrun(0, 512);
+		acc = acc + mtf(512);
+	}
+	exit(acc % 251);
+}`
+
+// crafty: bitboard-style shifting and masking in longer straight-line
+// blocks with several live temporaries.
+const srcCrafty = `int evaluate(int w, int b, int occ) {
+	int score = 0;
+	int attacks = (w << 9) & ~occ;
+	int defends = (w >> 7) & b;
+	int center = occ & (3855 << 24);
+	int mobile = attacks | (attacks << 1) | (attacks >> 1);
+	if (attacks % 2 == 0) { score = score + (attacks % 64) * 3; }
+	else { score = score + (attacks % 64) * 2; }
+	if (defends > attacks) { score = score + (defends % 32) * 5; }
+	else { score = score + (defends % 32) * 4; }
+	if (center != 0) { score = score - (center % 16) * 2; }
+	if (mobile % 4 < 2) { score = score + (mobile % 128); }
+	else { score = score + (mobile % 64); }
+	return score;
+}
+int search(int pos, int depth, int alpha) {
+	if (depth == 0) return evaluate(pos * 3, pos * 5, pos * 7);
+	int best = alpha;
+	for (int m = 0; m < 4; m = m + 1) {
+		int s = 0 - search(pos ^ (m * 73 + 1), depth - 1, 0 - best);
+		if (s > best) best = s;
+	}
+	return best;
+}
+int main() {
+	int n = getarg();
+	int acc = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		acc = acc + search(i * 40503 % 65536, 3, -30000);
+	}
+	exit(acc % 251);
+}`
+
+// eon: fixed-point ray-march style arithmetic, medium blocks.
+const srcEon = `int trace_ray(int ox, int oy, int dx, int dy) {
+	int x = ox * 256;
+	int y = oy * 256;
+	int acc = 0;
+	for (int s = 0; s < 24; s = s + 1) {
+		x = x + dx;
+		y = y + dy;
+		int d2 = (x / 256) * (x / 256) + (y / 256) * (y / 256);
+		if (d2 < 900) {
+			if (d2 < 100) { acc = acc + 200; }
+			else { acc = acc + 90 - d2 / 10; }
+		} else {
+			if (x > y) { acc = acc + 2; }
+			else { acc = acc + 1; }
+		}
+		if (dx > 0) { dx = (dx * 127) / 128; }
+		else { dx = (dx * 125) / 128; }
+		if (dy > 0) { dy = (dy * 129) / 128; }
+		else { dy = (dy * 131) / 128; }
+	}
+	return acc;
+}
+int main() {
+	int n = getarg();
+	int acc = 0;
+	for (int px = 0; px < n; px = px + 1) {
+		for (int py = 0; py < 24; py = py + 1) {
+			acc = acc + trace_ray(px % 31, py, (px % 11) - 5, (py % 9) - 4);
+		}
+	}
+	exit(acc % 251);
+}`
+
+// gap: computational group theory flavor — modular arithmetic with
+// helper calls inside loops.
+const srcGap = `int powmod(int b, int e, int m) {
+	int r = 1;
+	while (e > 0) {
+		if (e % 2 == 1) r = r * b % m;
+		b = b * b % m;
+		e = e / 2;
+	}
+	return r;
+}
+int orderof(int g, int m) {
+	int x = g;
+	int k = 1;
+	while (x != 1 && k < 200) {
+		x = x * g % m;
+		k = k + 1;
+	}
+	return k;
+}
+int main() {
+	int n = getarg();
+	int acc = 0;
+	for (int i = 2; i < n + 2; i = i + 1) {
+		acc = acc + powmod(i, i % 19 + 2, 1009);
+		acc = acc + orderof(i % 1007 + 2, 1009);
+	}
+	exit(acc % 251);
+}`
+
+// mcf: network-simplex flavor — pointer-chasing through successor
+// arrays; memory latency dominates, so probes are comparatively
+// cheap (ratio 1.21).
+const srcMcf = `int nextn[8192];
+int costs[8192];
+int flows[8192];
+int chase(int start, int steps) {
+	int node = start;
+	int total = 0;
+	for (int s = 0; s < steps; s = s + 2) {
+		total = total + costs[node] - flows[node];
+		flows[node] = flows[node] + 1;
+		node = nextn[node];
+		total = total + costs[node] - flows[node];
+		flows[node] = flows[node] + 1;
+		node = nextn[node];
+	}
+	return total;
+}
+int main() {
+	int n = getarg();
+	for (int i = 0; i < 8192; i = i + 1) {
+		nextn[i] = (i * 40503) & 8191;
+		costs[i] = i % 97;
+		flows[i] = 0;
+	}
+	int acc = 0;
+	for (int r = 0; r < n; r = r + 1) {
+		acc = acc + chase(r & 8191, 512);
+	}
+	exit(acc % 251);
+}`
+
+// ammp: molecular-dynamics flavor — neighbor-list sweeps, memory
+// heavy.
+const srcAmmp = `int px[2048];
+int py[2048];
+int fx[2048];
+int fy[2048];
+int forces(int n, int cut) {
+	int e = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		int j = (i * 167 + 13) % n;
+		int ddx = px[i] - px[j];
+		int ddy = py[i] - py[j];
+		int d2 = ddx * ddx + ddy * ddy + 1;
+		if (d2 < cut) {
+			fx[i] = fx[i] + ddx * 64 / d2;
+			fy[i] = fy[i] + ddy * 64 / d2;
+			e = e + 1024 / d2;
+		}
+	}
+	return e;
+}
+int main() {
+	int n = getarg();
+	for (int i = 0; i < 2048; i = i + 1) {
+		px[i] = (i * 37) % 509;
+		py[i] = (i * 73) % 521;
+	}
+	int acc = 0;
+	for (int step = 0; step < n; step = step + 1) {
+		acc = acc + forces(2048, 90000);
+	}
+	exit(acc % 251);
+}`
+
+// mesa: scanline rasterizer flavor — long memory-streaming loops.
+const srcMesa = `int fb[4096];
+int zb[4096];
+int dz;
+int color;
+int span(int y, int x0, int x1, int z) {
+	int drawn = 0;
+	for (int x = x0; x < x1; x = x + 4) {
+		int idx = (y * 64 + x) & 4092;
+		int z2 = z + dz;
+		int z3 = z2 + dz;
+		int z4 = z3 + dz;
+		int m1 = (z - zb[idx]) >> 63;
+		int m2 = (z2 - zb[idx + 1]) >> 63;
+		int m3 = (z3 - zb[idx + 2]) >> 63;
+		int m4 = (z4 - zb[idx + 3]) >> 63;
+		zb[idx] = (zb[idx] & ~m1) | (z & m1);
+		fb[idx] = (fb[idx] & ~m1) | (color & m1);
+		zb[idx + 1] = (zb[idx + 1] & ~m2) | (z2 & m2);
+		fb[idx + 1] = (fb[idx + 1] & ~m2) | (color & m2);
+		zb[idx + 2] = (zb[idx + 2] & ~m3) | (z3 & m3);
+		fb[idx + 2] = (fb[idx + 2] & ~m3) | (color & m3);
+		zb[idx + 3] = (zb[idx + 3] & ~m4) | (z4 & m4);
+		fb[idx + 3] = (fb[idx + 3] & ~m4) | (color & m4);
+		drawn = drawn + ((m1 & 1) + (m2 & 1) + (m3 & 1) + (m4 & 1));
+		z = z4 + dz;
+	}
+	return drawn;
+}
+int main() {
+	int n = getarg();
+	int acc = 0;
+	for (int f = 0; f < n; f = f + 1) {
+		for (int i = 0; i < 4096; i = i + 1) zb[i] = 100000;
+		for (int t = 0; t < 48; t = t + 1) {
+			dz = (t % 7) - 3;
+			color = t;
+			acc = acc + span(t % 64, t % 17, 40 + t % 23, t * 100 % 90000);
+		}
+	}
+	exit(acc % 251);
+}`
+
+// equake: sparse matrix-vector flavor — indirection-heavy streaming.
+const srcEquake = `int colidx[6144];
+int aval[6144];
+int x[2048];
+int y[2048];
+int spmv(int rows) {
+	int checksum = 0;
+	for (int r = 0; r < rows; r = r + 1) {
+		int sum = 0;
+		int base = r * 3;
+		sum = sum + aval[base] * x[colidx[base]];
+		sum = sum + aval[base + 1] * x[colidx[base + 1]];
+		sum = sum + aval[base + 2] * x[colidx[base + 2]];
+		y[r] = sum;
+		checksum = checksum + sum;
+	}
+	return checksum;
+}
+int main() {
+	int n = getarg();
+	for (int i = 0; i < 6144; i = i + 1) {
+		colidx[i] = (i * 389) % 2048;
+		aval[i] = i % 13 - 6;
+	}
+	for (int i = 0; i < 2048; i = i + 1) x[i] = i % 29;
+	int acc = 0;
+	for (int r = 0; r < n; r = r + 1) {
+		acc = acc + spmv(2048);
+		x[r % 2048] = acc % 31;
+	}
+	exit(acc % 251);
+}`
+
+// art: neural-net match loop — regular array sweeps, few branches.
+const srcArt = `int weights[4096];
+int input[64];
+int match(int cat) {
+	int sum = 0;
+	int base = cat * 64;
+	for (int i = 0; i < 64; i = i + 8) {
+		sum = sum + weights[base + i] * input[i];
+		sum = sum + weights[base + i + 1] * input[i + 1];
+		sum = sum + weights[base + i + 2] * input[i + 2];
+		sum = sum + weights[base + i + 3] * input[i + 3];
+		sum = sum + weights[base + i + 4] * input[i + 4];
+		sum = sum + weights[base + i + 5] * input[i + 5];
+		sum = sum + weights[base + i + 6] * input[i + 6];
+		sum = sum + weights[base + i + 7] * input[i + 7];
+	}
+	return sum;
+}
+int main() {
+	int n = getarg();
+	for (int i = 0; i < 4096; i = i + 1) weights[i] = (i % 17) - 8;
+	int acc = 0;
+	for (int r = 0; r < n; r = r + 1) {
+		for (int i = 0; i < 64; i = i + 1) input[i] = (r + i) % 11;
+		int best = -1000000;
+		for (int c = 0; c < 64; c = c + 1) {
+			int s = match(c);
+			if (s > best) best = s;
+		}
+		acc = acc + best;
+	}
+	exit(acc % 251);
+}`
+
+// vpr: placement annealing flavor — moderate mix of arithmetic,
+// branching, and array access.
+const srcVpr = `int cellx[512];
+int celly[512];
+int netcost(int a, int b) {
+	int ddx = cellx[a] - cellx[b];
+	int ddy = celly[a] - celly[b];
+	if (ddx < 0) ddx = 0 - ddx;
+	if (ddy < 0) ddy = 0 - ddy;
+	return ddx + ddy;
+}
+int try_swap(int a, int b, int temp) {
+	int before = netcost(a, b) + netcost(a, (a + 7) % 512) + netcost(b, (b + 11) % 512);
+	int tx = cellx[a]; int ty = celly[a];
+	cellx[a] = cellx[b]; celly[a] = celly[b];
+	cellx[b] = tx; celly[b] = ty;
+	int after = netcost(a, b) + netcost(a, (a + 7) % 512) + netcost(b, (b + 11) % 512);
+	if (after > before + temp) {
+		tx = cellx[a]; ty = celly[a];
+		cellx[a] = cellx[b]; celly[a] = celly[b];
+		cellx[b] = tx; celly[b] = ty;
+		return 0;
+	}
+	return 1;
+}
+int main() {
+	int n = getarg();
+	for (int i = 0; i < 512; i = i + 1) {
+		cellx[i] = (i * 37) % 64;
+		celly[i] = (i * 53) % 64;
+	}
+	int accepted = 0;
+	for (int pass = 0; pass < n; pass = pass + 1) {
+		int temp = 32 - (pass * 32) / (n + 1);
+		for (int i = 0; i < 256; i = i + 1) {
+			accepted = accepted + try_swap((i * 3) % 512, (i * 5 + pass) % 512, temp);
+		}
+	}
+	exit(accepted % 251);
+}`

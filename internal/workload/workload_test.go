@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"traceback/internal/core"
+)
+
+// Quick-scale factor for unit tests (benchmarks use 1.0).
+const quick = 0.25
+
+func TestSpecProgramsCompileAndRun(t *testing.T) {
+	for _, p := range SpecInt {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			r, err := RunSpec(p, quick, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ratio <= 1.0 {
+				t.Errorf("ratio = %.2f, instrumentation should cost something", r.Ratio)
+			}
+			if r.Ratio > 3.5 {
+				t.Errorf("ratio = %.2f, implausibly high", r.Ratio)
+			}
+		})
+	}
+}
+
+// TestTable1Shape verifies the qualitative claims of Table 1: the
+// call-dense programs are the most expensive, the memory-bound
+// programs the cheapest, and the geometric mean sits in the paper's
+// neighborhood (1.59).
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	rs, geo, paperGeo, err := RunSpecSuite(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SpecResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	// perlbmk is the most expensive program, as in the paper.
+	for _, other := range []string{"art", "equake", "mcf", "ammp", "vpr", "gzip"} {
+		if byName["perlbmk"].Ratio <= byName[other].Ratio {
+			t.Errorf("perlbmk (%.2f) should exceed %s (%.2f)",
+				byName["perlbmk"].Ratio, other, byName[other].Ratio)
+		}
+	}
+	// The memory-bound group is cheaper than the call/branch group.
+	memBound := []string{"art", "equake", "ammp", "mcf"}
+	dense := []string{"perlbmk", "vortex", "gcc", "parser"}
+	for _, m := range memBound {
+		for _, d := range dense {
+			if byName[m].Ratio >= byName[d].Ratio {
+				t.Errorf("memory-bound %s (%.2f) should be cheaper than %s (%.2f)",
+					m, byName[m].Ratio, d, byName[d].Ratio)
+			}
+		}
+	}
+	if math.Abs(geo-paperGeo) > 0.35 {
+		t.Errorf("geomean = %.2f, paper = %.2f; want within 0.35", geo, paperGeo)
+	}
+	// The paper reports ~60% text growth; ours is more modest but
+	// must be substantial.
+	for _, r := range rs {
+		if r.CodeGrowth <= 0.05 || r.CodeGrowth > 1.0 {
+			t.Errorf("%s: code growth %.0f%% out of band", r.Name, r.CodeGrowth*100)
+		}
+	}
+}
+
+// TestTable2Shape: web-server overhead lands near the paper's 5%,
+// an order of magnitude below SPECint.
+func TestTable2Shape(t *testing.T) {
+	r, err := RunWeb(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio < 1.005 || r.Ratio > 1.15 {
+		t.Errorf("web response ratio = %.3f, want ~1.05 (paper 1.049)", r.Ratio)
+	}
+	if r.OpsTB >= r.OpsNormal {
+		t.Error("instrumentation should reduce throughput")
+	}
+	if r.KbitsTB >= r.KbitsNormal {
+		t.Error("instrumentation should reduce Kbits/sec")
+	}
+}
+
+// TestTable3Shape: managed warehouse overhead in the 16-25%-ish
+// band, higher with 5 warehouses than 1, ordered Win < Lin, Sun.
+func TestTable3Shape(t *testing.T) {
+	results := map[string]map[int]JbbResult{}
+	for _, sys := range JbbSystems {
+		results[sys.Name] = map[int]JbbResult{}
+		for _, wh := range []int{1, 5} {
+			r, err := RunJbb(sys, wh, 1500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[sys.Name][wh] = r
+			if r.Ratio < 1.10 || r.Ratio > 1.40 {
+				t.Errorf("%s %dW: ratio %.3f outside the managed band", sys.Name, wh, r.Ratio)
+			}
+		}
+		if results[sys.Name][5].Ratio <= results[sys.Name][1].Ratio {
+			t.Errorf("%s: 5W (%.3f) should exceed 1W (%.3f)",
+				sys.Name, results[sys.Name][5].Ratio, results[sys.Name][1].Ratio)
+		}
+	}
+	if results["Win"][1].Ratio >= results["Sun"][1].Ratio {
+		t.Errorf("Win 1W (%.3f) should be below Sun 1W (%.3f), as in Table 3",
+			results["Win"][1].Ratio, results["Sun"][1].Ratio)
+	}
+}
+
+// TestPetShopShape: the managed web app loses only ~1% throughput.
+func TestPetShopShape(t *testing.T) {
+	r, err := RunPetShop(4, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drop < 0 || r.Drop > 0.05 {
+		t.Errorf("petshop drop = %.2f%%, want ~1%% (paper 0.97%%)", r.Drop*100)
+	}
+}
+
+// TestAblations: the design-choice costs move in the documented
+// directions.
+func TestAblations(t *testing.T) {
+	rs, err := RunAblations(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]AblationResult{}
+	for _, r := range rs {
+		byVariant[r.Variant] = r
+	}
+	if r := byVariant["force-spill"]; r.Ratio <= r.Baseline {
+		t.Errorf("forced spills (%.2f) should cost more than scavenged registers (%.2f)",
+			r.Ratio, r.Baseline)
+	}
+	if r := byVariant["no-break-at-calls"]; r.Ratio >= r.Baseline {
+		t.Errorf("removing call-return probes (%.2f) should be cheaper than the sound default (%.2f)",
+			r.Ratio, r.Baseline)
+	}
+	if b2, b4 := byVariant["max-path-bits-2"], byVariant["max-path-bits-4"]; b2.Ratio <= b4.Ratio {
+		t.Errorf("2 path bits (%.2f) should cost more than 4 (%.2f)", b2.Ratio, b4.Ratio)
+	}
+}
+
+// TestSubBufferOverhead: sub-buffering costs something but not much.
+func TestSubBufferOverhead(t *testing.T) {
+	off, on, err := SubBufferOverhead(quick, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(on) / float64(off)
+	if ratio < 0.99 || ratio > 1.25 {
+		t.Errorf("sub-buffering overhead ratio = %.3f, want small but nonnegative", ratio)
+	}
+}
+
+// TestSpecDeterminism: identical runs give identical cycle counts.
+func TestSpecDeterminism(t *testing.T) {
+	p, _ := SpecByName("gzip")
+	a, err := RunSpec(p, quick, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpec(p, quick, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Normal != b.Normal || a.TraceBack != b.TraceBack {
+		t.Error("benchmark runs are not deterministic")
+	}
+}
