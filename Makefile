@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench examples tables verify clean
+.PHONY: all build test test-short test-race fuzz bench examples tables verify clean
 
 all: build test
 
@@ -15,6 +15,18 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over everything, including the pipeline-vs-oracle
+# stress test (jobs 1/4/16 against one shared MapCache).
+test-race:
+	$(GO) test -race ./...
+
+# Bounded fuzz smoke over the trace and snap decoders; the committed
+# seed corpora live under <pkg>/testdata/fuzz/.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTraceRecordDecode -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzSnapReader -fuzztime $(FUZZTIME) ./internal/snap
 
 # One benchmark per paper table/figure; results land in bench_output.txt.
 bench:

@@ -1,8 +1,12 @@
 // tbrecon reconstructs snap files into line-by-line source traces
 // (paper §4). Given several snaps from related runtimes it stitches
-// them into logical threads (paper §5).
+// them into logical threads (paper §5). Snaps are reconstructed on a
+// parallel pipeline (-jobs) that shares one checksum-keyed mapfile
+// cache across all of them; a directory argument is batch mode and
+// expands to every snap file inside it.
 //
 //	tbrecon -maps build snaps/app-1.snap.json
+//	tbrecon -maps build -jobs 8 snaps/
 //	tbrecon -maps build -logical snaps/client-1.snap.json snaps/server-1.snap.json
 package main
 
@@ -11,89 +15,89 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
-	"traceback/internal/module"
 	"traceback/internal/recon"
-	"traceback/internal/snap"
 )
 
 func main() {
 	var (
 		mapsDir    = flag.String("maps", ".", "directory containing *.map.json mapfiles")
 		srcDir     = flag.String("src", "", "directory containing source files (optional, for source text)")
+		jobs       = flag.Int("jobs", 0, "reconstruction worker count (0 = GOMAXPROCS)")
 		logical    = flag.Bool("logical", false, "stitch multiple snaps into logical threads")
 		interleave = flag.Bool("interleave", false, "print the merged multi-thread view")
 		flat       = flag.Bool("flat", false, "disable call-hierarchy indentation")
 		maxEvents  = flag.Int("max", 0, "cap events shown per thread (0 = all)")
 		showVars   = flag.Bool("vars", false, "print global variable values from the snap's memory dump")
+		showStats  = flag.Bool("stats", false, "print pipeline counters to stderr when done")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tbrecon [flags] <snap.json> [more snaps...]")
+		fmt.Fprintln(os.Stderr, "usage: tbrecon [flags] <snap.json | snap-dir> [more...]")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	maps := recon.NewMapSet()
-	paths, err := filepath.Glob(filepath.Join(*mapsDir, "*.map.json"))
+	// Mapfiles load lazily, keyed by checksum: the batch pipeline
+	// parses each one at most once no matter how many snaps share it.
+	loader, err := recon.NewDirLoader(*mapsDir)
 	if err != nil {
 		fatal(err)
 	}
-	for _, p := range paths {
-		f, err := os.Open(p)
+	if loader.NumFiles() == 0 {
+		fmt.Fprintf(os.Stderr, "tbrecon: warning: no mapfiles found in %s\n", *mapsDir)
+	}
+	cache := recon.NewMapCache(loader.Load)
+
+	var sources []recon.Source
+	for _, arg := range flag.Args() {
+		paths, err := expandArg(arg)
 		if err != nil {
 			fatal(err)
 		}
-		mf, err := module.LoadMapFile(f)
-		f.Close()
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", p, err))
+		for _, p := range paths {
+			sources = append(sources, recon.FileSource(p))
 		}
-		maps.Add(mf)
 	}
-	if len(paths) == 0 {
-		fmt.Fprintf(os.Stderr, "tbrecon: warning: no mapfiles found in %s\n", *mapsDir)
+	if len(sources) == 0 {
+		fatal(fmt.Errorf("no snap files found in %s", strings.Join(flag.Args(), ", ")))
 	}
 
 	opts := recon.RenderOptions{Flat: *flat, MaxEvents: *maxEvents}
 	if *srcDir != "" {
-		cache := map[string][]string{}
-		opts.Source = func(file string) []string {
-			if lines, ok := cache[file]; ok {
-				return lines
-			}
+		cache := recon.NewSourceCache(func(file string) []string {
 			b, err := os.ReadFile(filepath.Join(*srcDir, filepath.Base(file)))
 			if err != nil {
-				cache[file] = nil
 				return nil
 			}
-			lines := strings.Split(string(b), "\n")
-			cache[file] = lines
-			return lines
-		}
+			return strings.Split(string(b), "\n")
+		})
+		opts.Source = cache.Lines
 	}
 
+	pipe := recon.NewPipeline(cache, *jobs)
+	results := pipe.Run(sources)
+
+	// A failed source must not sink the rest of the batch: report it,
+	// reconstruct everything else, exit nonzero at the end.
+	failed := 0
 	var pts []*recon.ProcessTrace
-	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			fatal(err)
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "tbrecon:", res.Err)
+			failed++
+			continue
 		}
-		s, err := snap.LoadAuto(f)
-		f.Close()
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
-		}
-		pt, err := recon.Reconstruct(s, maps)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
-		}
-		pts = append(pts, pt)
+		pts = append(pts, res.Trace)
 		if *showVars {
-			recon.RenderVariables(os.Stdout, s, maps)
+			recon.RenderVariables(os.Stdout, res.Trace.Snap, cache)
 			fmt.Println()
 		}
+	}
+	if len(pts) == 0 {
+		os.Exit(1)
 	}
 
 	switch {
@@ -118,6 +122,38 @@ func main() {
 			fmt.Println()
 		}
 	}
+
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "tbrecon: %s (jobs %d)\n", pipe.Snapshot(), pipe.Jobs())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// expandArg turns a snap file path into itself and a directory into
+// its sorted snap files (batch mode).
+func expandArg(arg string) ([]string, error) {
+	st, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		return []string{arg}, nil
+	}
+	var paths []string
+	for _, pat := range []string{"*.snap.json", "*.snap.json.gz"} {
+		got, err := filepath.Glob(filepath.Join(arg, pat))
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, got...)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%s: no *.snap.json[.gz] files", arg)
+	}
+	return paths, nil
 }
 
 func fatal(err error) {

@@ -55,10 +55,12 @@ func ExpandManaged(d *module.MapDAG, bits trace.Word) []int {
 	return path
 }
 
-// expander turns one thread segment's records into events.
+// expander turns one thread segment's records into events. All its
+// state is per-segment; the snap and resolver are only read, so
+// segments expand safely in parallel.
 type expander struct {
 	s    *snap.Snap
-	maps *MapSet
+	maps MapResolver
 	tt   *ThreadTrace
 
 	depth     int
@@ -79,7 +81,7 @@ type expander struct {
 	anchorSeq int
 }
 
-func expandSegment(s *snap.Snap, maps *MapSet, seg segment) (*ThreadTrace, error) {
+func expandSegment(s *snap.Snap, maps MapResolver, seg segment) (*ThreadTrace, error) {
 	ex := &expander{s: s, maps: maps, tt: &ThreadTrace{TID: seg.tid}}
 	for _, r := range seg.recs {
 		if err := ex.record(r); err != nil {

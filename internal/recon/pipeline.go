@@ -1,0 +1,253 @@
+package recon
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"traceback/internal/snap"
+)
+
+// Pipeline is the parallel reconstruction engine: it fans snap
+// sources out to a bounded worker pool and, within one snap, mines
+// and expands per-thread record streams concurrently. Record mining,
+// DAG resolution, and block/line expansion are independent per
+// buffer/segment; only the final join that assembles the ProcessTrace
+// is ordered. Results are byte-identical to the sequential
+// Reconstruct path, which remains the oracle.
+//
+// All workers share the pipeline's MapResolver; pass a *MapCache so
+// that N snaps from the same binary parse the mapfile once (the
+// decode-side mirror of the paper's §3.4 instrumentation cache).
+type Pipeline struct {
+	maps MapResolver
+	jobs int
+	// sem holds the extra-goroutine budget (jobs-1: the calling
+	// goroutine is itself a worker). Tasks that cannot get a slot run
+	// inline, which bounds concurrency at jobs and cannot deadlock
+	// even when batch and per-snap stages nest.
+	sem chan struct{}
+
+	Stats Stats
+}
+
+// NewPipeline creates a pipeline over maps with the given worker
+// budget. jobs <= 0 selects GOMAXPROCS.
+func NewPipeline(maps MapResolver, jobs int) *Pipeline {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Pipeline{maps: maps, jobs: jobs, sem: make(chan struct{}, jobs-1)}
+}
+
+// Jobs reports the worker budget.
+func (p *Pipeline) Jobs() int { return p.jobs }
+
+// Stats holds the pipeline's per-stage counters, updated atomically
+// by workers; scrape them live or via Snapshot. Cache hit/miss counts
+// live on the MapCache and are merged into StatsSnapshot.
+type Stats struct {
+	SnapsProcessed   atomic.Int64 // snaps fully reconstructed
+	SnapErrors       atomic.Int64 // sources that failed to load or expand
+	BuffersMined     atomic.Int64
+	RecordsMined     atomic.Int64
+	SegmentsExpanded atomic.Int64
+	EventsEmitted    atomic.Int64
+
+	// Per-stage time, summed across workers (≈ CPU time when workers
+	// saturate cores), plus batch wall-clock.
+	LoadNanos   atomic.Int64 // snap read + parse
+	MineNanos   atomic.Int64 // logical-span recovery + record mining
+	ExpandNanos atomic.Int64 // DAG resolution + block/line expansion
+	JoinNanos   atomic.Int64 // ordered assembly of the ProcessTrace
+	WallNanos   atomic.Int64 // Run() wall-clock, cumulative
+}
+
+// StatsSnapshot is a plain-value copy of the counters for scraping.
+type StatsSnapshot struct {
+	SnapsProcessed   int64
+	SnapErrors       int64
+	BuffersMined     int64
+	RecordsMined     int64
+	SegmentsExpanded int64
+	EventsEmitted    int64
+	CacheHits        int64
+	CacheMisses      int64
+
+	Load, Mine, Expand, Join, Wall time.Duration
+}
+
+// Snapshot copies the counters, merging cache hit/miss counts when
+// the pipeline's resolver is a *MapCache.
+func (p *Pipeline) Snapshot() StatsSnapshot {
+	s := StatsSnapshot{
+		SnapsProcessed:   p.Stats.SnapsProcessed.Load(),
+		SnapErrors:       p.Stats.SnapErrors.Load(),
+		BuffersMined:     p.Stats.BuffersMined.Load(),
+		RecordsMined:     p.Stats.RecordsMined.Load(),
+		SegmentsExpanded: p.Stats.SegmentsExpanded.Load(),
+		EventsEmitted:    p.Stats.EventsEmitted.Load(),
+		Load:             time.Duration(p.Stats.LoadNanos.Load()),
+		Mine:             time.Duration(p.Stats.MineNanos.Load()),
+		Expand:           time.Duration(p.Stats.ExpandNanos.Load()),
+		Join:             time.Duration(p.Stats.JoinNanos.Load()),
+		Wall:             time.Duration(p.Stats.WallNanos.Load()),
+	}
+	if c, ok := p.maps.(*MapCache); ok {
+		s.CacheHits = c.Hits()
+		s.CacheMisses = c.Misses()
+	}
+	return s
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf(
+		"snaps %d (errors %d) · buffers %d · records %d · segments %d · events %d · map cache %d hit / %d miss · load %v mine %v expand %v join %v · wall %v",
+		s.SnapsProcessed, s.SnapErrors, s.BuffersMined, s.RecordsMined,
+		s.SegmentsExpanded, s.EventsEmitted, s.CacheHits, s.CacheMisses,
+		s.Load, s.Mine, s.Expand, s.Join, s.Wall)
+}
+
+// Source is one snap input to a batch run.
+type Source struct {
+	Name string
+	Load func() (*snap.Snap, error)
+}
+
+// FileSource reads a snap file (plain or gzipped JSON).
+func FileSource(path string) Source {
+	return Source{Name: path, Load: func() (*snap.Snap, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return snap.LoadAuto(f)
+	}}
+}
+
+// SnapSource wraps an already-loaded snap.
+func SnapSource(name string, s *snap.Snap) Source {
+	return Source{Name: name, Load: func() (*snap.Snap, error) { return s, nil }}
+}
+
+// Result is one source's reconstruction.
+type Result struct {
+	Name  string
+	Trace *ProcessTrace
+	Err   error
+}
+
+// Run reconstructs a batch of snaps on the worker pool, returning
+// results in source order.
+func (p *Pipeline) Run(sources []Source) []Result {
+	start := time.Now()
+	out := make([]Result, len(sources))
+	p.parallelDo(len(sources), func(i int) {
+		out[i] = p.runOne(sources[i])
+	})
+	p.Stats.WallNanos.Add(time.Since(start).Nanoseconds())
+	return out
+}
+
+func (p *Pipeline) runOne(src Source) Result {
+	t0 := time.Now()
+	s, err := src.Load()
+	p.Stats.LoadNanos.Add(time.Since(t0).Nanoseconds())
+	if err != nil {
+		p.Stats.SnapErrors.Add(1)
+		return Result{Name: src.Name, Err: fmt.Errorf("%s: %w", src.Name, err)}
+	}
+	pt, err := p.ReconstructSnap(s)
+	if err != nil {
+		p.Stats.SnapErrors.Add(1)
+		return Result{Name: src.Name, Err: fmt.Errorf("%s: %w", src.Name, err)}
+	}
+	p.Stats.SnapsProcessed.Add(1)
+	return Result{Name: src.Name, Trace: pt}
+}
+
+// ReconstructSnap rebuilds one snap with per-buffer mining and
+// per-segment expansion running concurrently. The result — including
+// the error, should one occur — is identical to Reconstruct's.
+func (p *Pipeline) ReconstructSnap(s *snap.Snap) (*ProcessTrace, error) {
+	// Stage 1: mine every buffer (pure, independent).
+	t0 := time.Now()
+	plans := make([]bufferPlan, len(s.Buffers))
+	p.parallelDo(len(s.Buffers), func(bi int) {
+		plans[bi] = mineBuffer(&s.Buffers[bi])
+	})
+	p.Stats.MineNanos.Add(time.Since(t0).Nanoseconds())
+	p.Stats.BuffersMined.Add(int64(len(s.Buffers)))
+
+	// Stage 2: expand every thread segment (independent per segment;
+	// the resolver is shared and read-only or internally locked).
+	type segJob struct{ bi, si int }
+	var jobs []segJob
+	for bi := range plans {
+		p.Stats.RecordsMined.Add(int64(plans[bi].recordsMined))
+		for si := range plans[bi].segs {
+			jobs = append(jobs, segJob{bi, si})
+		}
+	}
+	t0 = time.Now()
+	threads := make([]*ThreadTrace, len(jobs))
+	errs := make([]error, len(jobs))
+	p.parallelDo(len(jobs), func(k int) {
+		j := jobs[k]
+		threads[k], errs[k] = expandSegment(s, p.maps, plans[j.bi].segs[j.si])
+	})
+	p.Stats.ExpandNanos.Add(time.Since(t0).Nanoseconds())
+
+	// Join: assemble in buffer/segment order so the output is
+	// byte-identical to the sequential oracle, including which error
+	// wins when several segments fail.
+	t0 = time.Now()
+	defer func() { p.Stats.JoinNanos.Add(time.Since(t0).Nanoseconds()) }()
+	pt := &ProcessTrace{Snap: s}
+	for k, j := range jobs {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+		tt := threads[k]
+		tt.Truncated = tt.Truncated || plans[j.bi].truncated
+		p.Stats.EventsEmitted.Add(int64(len(tt.Events)))
+		pt.Threads = append(pt.Threads, tt)
+	}
+	p.Stats.SegmentsExpanded.Add(int64(len(jobs)))
+	for bi := range plans {
+		pt.Unrecoverable += plans[bi].unrecoverable
+	}
+	return pt, nil
+}
+
+// parallelDo runs fn(0..n-1) using at most the pipeline's job budget
+// of concurrent workers. The calling goroutine participates; extra
+// goroutines are spawned only while semaphore slots are free, so
+// nested calls (batch → per-snap stages) stay bounded and can never
+// deadlock — a task that finds no free slot simply runs inline.
+func (p *Pipeline) parallelDo(n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}

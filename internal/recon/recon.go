@@ -15,7 +15,10 @@ import (
 )
 
 // MapSet indexes mapfiles by module checksum, the key that ties trace
-// metadata to instrumentation output (paper §2.3).
+// metadata to instrumentation output (paper §2.3). A MapSet is not
+// synchronized: build it fully (NewMapSet / Add) before sharing it
+// across goroutines, after which concurrent ForChecksum calls are
+// safe. For lazy, concurrent loading use MapCache instead.
 type MapSet struct {
 	byChecksum map[string]*module.MapFile
 }
@@ -143,54 +146,76 @@ func (pt *ProcessTrace) ThreadByTID(tid uint32) (*ThreadTrace, bool) {
 }
 
 // Reconstruct rebuilds per-thread histories from a snap and its
-// mapfiles.
-func Reconstruct(s *snap.Snap, maps *MapSet) (*ProcessTrace, error) {
+// mapfiles. This is the sequential path — the oracle the parallel
+// Pipeline must match byte for byte.
+func Reconstruct(s *snap.Snap, maps MapResolver) (*ProcessTrace, error) {
 	pt := &ProcessTrace{Snap: s}
 	for bi := range s.Buffers {
-		b := &s.Buffers[bi]
-		switch b.Kind {
-		case snap.BufProbation:
-			continue
-		case snap.BufDesperation:
-			if !b.LastKnown {
-				// Shared unsynchronized writes are unrecoverable —
-				// but an untouched desperation buffer is just empty.
-				if b.OwnerTID != 0 || hasData(b) {
-					pt.Unrecoverable++
-				}
-				continue
-			}
-		}
-		span, truncated, ok := logicalSpan(b)
-		if !ok {
-			if b.OwnerTID != 0 {
-				pt.Unrecoverable++
-			}
-			continue
-		}
-		recs := trace.MineBackward(span)
-		if len(recs) == 0 {
-			continue
-		}
-		// Overwrite truncation: if mining stopped before consuming
-		// the whole span, older history was lost.
-		trace.Reverse(recs) // oldest first
-		segs := splitByThread(recs, b.OwnerTID)
-		for _, seg := range segs {
+		plan := mineBuffer(&s.Buffers[bi])
+		pt.Unrecoverable += plan.unrecoverable
+		for _, seg := range plan.segs {
 			tt, err := expandSegment(s, maps, seg)
 			if err != nil {
 				return nil, err
 			}
-			tt.Truncated = tt.Truncated || truncated
+			tt.Truncated = tt.Truncated || plan.truncated
 			pt.Threads = append(pt.Threads, tt)
 		}
 	}
 	return pt, nil
 }
 
+// bufferPlan is the mined, thread-split content of one buffer — the
+// output of the mining stage, ready for per-segment expansion.
+type bufferPlan struct {
+	segs          []segment
+	truncated     bool
+	unrecoverable int
+	recordsMined  int
+}
+
+// mineBuffer recovers one buffer's record stream and splits it by
+// thread. It is a pure function of the buffer dump (no shared state),
+// which is what lets the pipeline mine buffers concurrently.
+func mineBuffer(b *snap.BufferDump) bufferPlan {
+	var plan bufferPlan
+	// Decode the raw words once; every helper below works on the
+	// shared read-only slice.
+	words := b.Words()
+	switch b.Kind {
+	case snap.BufProbation:
+		return plan
+	case snap.BufDesperation:
+		if !b.LastKnown {
+			// Shared unsynchronized writes are unrecoverable —
+			// but an untouched desperation buffer is just empty.
+			if b.OwnerTID != 0 || hasData(words) {
+				plan.unrecoverable++
+			}
+			return plan
+		}
+	}
+	span, truncated, ok := logicalSpan(b, words)
+	if !ok {
+		if b.OwnerTID != 0 {
+			plan.unrecoverable++
+		}
+		return plan
+	}
+	recs := trace.MineBackward(span)
+	if len(recs) == 0 {
+		return plan
+	}
+	plan.truncated = truncated
+	plan.recordsMined = len(recs)
+	trace.Reverse(recs) // oldest first
+	plan.segs = splitByThread(recs, b.OwnerTID)
+	return plan
+}
+
 // lineForAddr resolves an absolute code address to (module, file,
 // line) via the snap's module table and the mapfiles' line spans.
-func lineForAddr(s *snap.Snap, maps *MapSet, addr uint64) (mod, file string, line uint32, ok bool) {
+func lineForAddr(s *snap.Snap, maps MapResolver, addr uint64) (mod, file string, line uint32, ok bool) {
 	mi, ok := s.ModuleForAddr(addr)
 	if !ok {
 		return "", "", 0, false
@@ -217,8 +242,8 @@ func lineForAddr(s *snap.Snap, maps *MapSet, addr uint64) (mod, file string, lin
 }
 
 // hasData reports whether any non-sentinel word was ever written.
-func hasData(b *snap.BufferDump) bool {
-	for _, w := range b.Words() {
+func hasData(words []trace.Word) bool {
+	for _, w := range words {
 		if w != trace.Invalid && w != trace.Sentinel {
 			return true
 		}
@@ -234,8 +259,7 @@ func hasData(b *snap.BufferDump) bool {
 // write pointer the newest record is at LastPtr; otherwise the
 // committed-sub-buffer header plus the zeroed-frontier scan recovers
 // the dead thread's progress (paper §3.2).
-func logicalSpan(b *snap.BufferDump) (span []trace.Word, truncated bool, ok bool) {
-	words := b.Words()
+func logicalSpan(b *snap.BufferDump, words []trace.Word) (span []trace.Word, truncated bool, ok bool) {
 	if len(words) == 0 {
 		return nil, false, false
 	}
@@ -361,7 +385,7 @@ func splitByThread(recs []trace.Record, ownerTID uint32) []segment {
 
 // resolveDAG maps a rebased DAG ID to (module info, mapfile DAG,
 // managed flag).
-func resolveDAG(s *snap.Snap, maps *MapSet, id uint32) (snap.ModuleInfo, *module.MapDAG, bool, error) {
+func resolveDAG(s *snap.Snap, maps MapResolver, id uint32) (snap.ModuleInfo, *module.MapDAG, bool, error) {
 	mi, rel, ok := s.ModuleForDAG(id)
 	if !ok {
 		return mi, nil, false, fmt.Errorf("recon: DAG ID %d matches no module range", id)

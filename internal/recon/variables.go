@@ -20,7 +20,7 @@ type VarValue struct {
 }
 
 // Variables decodes every resolvable global in the snap.
-func Variables(s *snap.Snap, maps *MapSet) []VarValue {
+func Variables(s *snap.Snap, maps MapResolver) []VarValue {
 	var out []VarValue
 	for _, mi := range s.Modules {
 		if len(mi.DataDump) == 0 {
@@ -49,7 +49,7 @@ func Variables(s *snap.Snap, maps *MapSet) []VarValue {
 }
 
 // RenderVariables writes the variables view.
-func RenderVariables(w io.Writer, s *snap.Snap, maps *MapSet) {
+func RenderVariables(w io.Writer, s *snap.Snap, maps MapResolver) {
 	vars := Variables(s, maps)
 	if len(vars) == 0 {
 		fmt.Fprintln(w, "(no variable values in this snap)")

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// wordsOf reinterprets fuzz bytes as little-endian trace words,
+// ignoring a trailing partial word.
+func wordsOf(data []byte) []Word {
+	out := make([]Word, len(data)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(data[i*4:])
+	}
+	return out
+}
+
+// appendRecord re-encodes a mined record. Every record MineBackward
+// is allowed to return must re-encode without panicking; anything
+// else is a mining bug.
+func appendRecord(buf []Word, r Record) []Word {
+	if r.Kind == KindNone {
+		return append(buf, DAGWord(r.DAGID, r.Bits))
+	}
+	return AppendExtended(buf, r.Kind, r.Small, r.Payload...)
+}
+
+func recordsEqual(a, b []Record) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("record count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kind != y.Kind || x.DAGID != y.DAGID || x.Bits != y.Bits || x.Small != y.Small {
+			return fmt.Errorf("record %d: %+v vs %+v", i, x, y)
+		}
+		if len(x.Payload) != len(y.Payload) {
+			return fmt.Errorf("record %d payload length %d vs %d", i, len(x.Payload), len(y.Payload))
+		}
+		for j := range x.Payload {
+			if x.Payload[j] != y.Payload[j] {
+				return fmt.Errorf("record %d payload word %d: %#x vs %#x", i, j, x.Payload[j], y.Payload[j])
+			}
+		}
+	}
+	return nil
+}
+
+// FuzzTraceRecordDecode feeds arbitrary bytes to the record miner.
+// Mining must never panic, and whatever it recovers must survive an
+// encode→mine round trip exactly: the mined records are the complete
+// description of the recovered trace suffix.
+func FuzzTraceRecordDecode(f *testing.F) {
+	// A well-formed stream: DAG records around a timestamp and a sync.
+	var ws []Word
+	ws = append(ws, DAGWord(7, 0b1011))
+	ws = AppendTimestamp(ws, 0x1122334455667788)
+	ws = append(ws, DAGWord(9, 0))
+	ws = AppendSync(ws, Sync{Point: SyncCallSend, RuntimeID: 0xdead, LogicalThread: 3, Seq: 1, TS: 42})
+	ws = AppendThreadStart(ws, 1, 100)
+	f.Add(wordsToBytes(ws))
+	// A torn stream: the sync's first words cut off.
+	f.Add(wordsToBytes(ws[3:]))
+	// Sentinels and zeroes.
+	f.Add(wordsToBytes([]Word{Invalid, Sentinel, DAGWord(1, 1), Sentinel}))
+	// A trailer claiming kind 0 — the ambiguous encoding MineBackward
+	// must reject.
+	f.Add(wordsToBytes([]Word{header(1, 2, 0) &^ (0xFF << 24), trailer(1, 2) &^ 0xFF}))
+	// Unaligned garbage.
+	f.Add([]byte{0x7f, 0x02, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := wordsOf(data)
+		recs := MineBackward(words)
+		Reverse(recs) // oldest first
+		var enc []Word
+		for _, r := range recs {
+			enc = appendRecord(enc, r)
+		}
+		again := MineBackward(enc)
+		Reverse(again)
+		if err := recordsEqual(recs, again); err != nil {
+			t.Fatalf("round trip: %v\nmined: %+v", err, recs)
+		}
+	})
+}
+
+func wordsToBytes(ws []Word) []byte {
+	out := make([]byte, len(ws)*4)
+	for i, w := range ws {
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return out
+}
+
+// TestMineBackwardRejectsAmbiguousKinds is the regression test for a
+// format bug the fuzz harness exposed: a trailer word whose kind byte
+// is 0x00 or 0x7F used to mine into a Record that either collided
+// with the DAG-record representation (Kind==KindNone, so expansion
+// would try to resolve DAG 0) or could not be re-encoded. Both are
+// corruption and must stop mining instead.
+func TestMineBackwardRejectsAmbiguousKinds(t *testing.T) {
+	for _, kind := range []Word{0x00, 0x7F} {
+		h := Word(kind)<<24 | 2<<16
+		tr := Word(trailerTag)<<24 | 2<<16 | kind
+		recs := MineBackward([]Word{h, tr})
+		if len(recs) != 0 {
+			t.Errorf("kind %#x: mined %d records from a corrupt stream, want 0: %+v", kind, len(recs), recs)
+		}
+		// Valid records newer than the corruption still mine.
+		recs = MineBackward([]Word{h, tr, DAGWord(5, 1)})
+		if len(recs) != 1 || recs[0].DAGID != 5 {
+			t.Errorf("kind %#x: newer DAG record lost: %+v", kind, recs)
+		}
+	}
+}

@@ -186,6 +186,13 @@ func MineBackward(words []Word) []Record {
 		case w>>24 == trailerTag:
 			length := int(w >> 16 & 0xFF)
 			kind := Kind(w & 0xFF)
+			if kind == KindNone || kind > maxKind {
+				// No writer produces extended records with kind 0
+				// (which would be indistinguishable from a DAG record
+				// once mined) or kind 0x7F (the trailer tag itself).
+				// Such a word is corruption, not a record.
+				return out
+			}
 			hi := i - length + 1
 			if length < 2 || hi < 0 {
 				return out // torn record: head overwritten

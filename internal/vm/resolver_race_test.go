@@ -1,0 +1,29 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestModuleResolverConcurrentInstall is the regression test for the
+// package-level resolver map: a World and its Machines are owned by
+// one goroutine each, but the resolver registry is shared by ALL
+// worlds in the process, so independent harnesses running
+// concurrently (parallel tests, pipeline snap factories) used to
+// race on it (caught by -race).
+func TestModuleResolverConcurrentInstall(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := NewWorld(1)
+			m := w.NewMachine("host", 0)
+			for j := 0; j < 50; j++ {
+				p := m.NewProcess("proc", nil)
+				p.SetModuleResolver(func(name string) *LoadedModule { return nil })
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sync"
 
 	"traceback/internal/isa"
 )
@@ -205,15 +206,27 @@ func (m *Machine) syscall(t *Thread, num int) (stepResult, int) {
 // (SysLoadModule). Installed by the host harness.
 type ModuleResolver func(name string) *LoadedModule
 
-// Resolver is consulted by SysLoadModule; set per process.
-var resolvers = map[*Process]ModuleResolver{}
+// Resolver is consulted by SysLoadModule; set per process. The map
+// is package-level shared state, so it is mutex-guarded: harnesses
+// that build worlds concurrently (parallel tests, the reconstruction
+// pipeline's snap factories) would otherwise race on it.
+var (
+	resolversMu sync.RWMutex
+	resolvers   = map[*Process]ModuleResolver{}
+)
 
 // SetModuleResolver installs the dynamic-load resolver for p.
-func (p *Process) SetModuleResolver(r ModuleResolver) { resolvers[p] = r }
+func (p *Process) SetModuleResolver(r ModuleResolver) {
+	resolversMu.Lock()
+	resolvers[p] = r
+	resolversMu.Unlock()
+}
 
 func (m *Machine) sysLoadModule(t *Thread) uint64 {
 	p := t.Proc
+	resolversMu.RLock()
 	res := resolvers[p]
+	resolversMu.RUnlock()
 	if res == nil {
 		return 0
 	}
