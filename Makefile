@@ -1,8 +1,14 @@
 # TraceBack reproduction — convenience targets.
+#
+#   make build       compile + vet everything
+#   make test        full test suite
+#   make vet         static analysis only
+#   make ci          what the gate runs: vet + race-detector tests
+#   make tables      regenerate the paper tables (tbbench)
 
 GO ?= go
 
-.PHONY: all build test test-short test-race fuzz bench examples tables verify clean
+.PHONY: all build test test-short test-race vet ci fuzz bench examples tables verify clean
 
 all: build test
 
@@ -15,6 +21,13 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# The CI gate: static analysis plus the race-detector pass (which
+# subsumes plain `go test`); keep this green before merging.
+ci: vet test-race
 
 # Race-detector pass over everything, including the pipeline-vs-oracle
 # stress test (jobs 1/4/16 against one shared MapCache).

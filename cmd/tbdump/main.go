@@ -5,6 +5,7 @@
 //	tbdump build/app.tb.tbm
 //	tbdump -func longest_match build/gzip.tb.tbm
 //	tbdump -map build/app.map.json
+//	tbdump -events flight.json            # flight recorder from tbrun -events
 package main
 
 import (
@@ -14,16 +15,18 @@ import (
 	"strings"
 
 	"traceback/internal/module"
+	"traceback/internal/telemetry"
 )
 
 func main() {
 	var (
 		fn      = flag.String("func", "", "disassemble only this function")
 		mapDump = flag.Bool("map", false, "treat the input as a mapfile and summarize it")
+		evDump  = flag.Bool("events", false, "treat the input as a flight-recorder dump (tbrun -events) and render it")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tbdump [flags] <module.tbm|mapfile.json>")
+		fmt.Fprintln(os.Stderr, "usage: tbdump [flags] <module.tbm|mapfile.json|events.json>")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -33,6 +36,15 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
+
+	if *evDump {
+		dump, err := telemetry.ReadEventDump(f)
+		if err != nil {
+			fatal(err)
+		}
+		dumpEvents(dump)
+		return
+	}
 
 	if *mapDump || strings.HasSuffix(path, ".json") {
 		mf, err := module.LoadMapFile(f)
@@ -90,6 +102,16 @@ func dumpMap(mf *module.MapFile) {
 			fmt.Printf("  block %d [%d,%d) bit=%s succs=%v%s |%s\n",
 				bi, b.Start, b.End, bit, b.Succs, extra, lines)
 		}
+	}
+}
+
+// dumpEvents renders a flight-recorder dump: one line per retained
+// event, oldest first, with the machine clock at which it happened.
+func dumpEvents(d *telemetry.EventDump) {
+	fmt.Printf("flight recorder: %d event(s) recorded, %d dropped, %d retained\n",
+		d.Total, d.Dropped, len(d.Events))
+	for _, e := range d.Events {
+		fmt.Printf("  #%-5d clock %-10d %-16s %s\n", e.Seq, e.Clock, e.Kind, e.Detail)
 	}
 }
 

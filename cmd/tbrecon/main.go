@@ -8,11 +8,17 @@
 //	tbrecon -maps build snaps/app-1.snap.json
 //	tbrecon -maps build -jobs 8 snaps/
 //	tbrecon -maps build -logical snaps/client-1.snap.json snaps/server-1.snap.json
+//	tbrecon -maps build -metrics - snaps/   # Prometheus exposition on stderr
+//
+// The rendered trace is the only thing written to stdout; -stats and
+// -metrics report on stderr (or to a file) so piped output stays
+// byte-identical whether or not telemetry is requested.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -22,47 +28,62 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, stdout, stderr, exit
+// status) made explicit so tests can drive the CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tbrecon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		mapsDir    = flag.String("maps", ".", "directory containing *.map.json mapfiles")
-		srcDir     = flag.String("src", "", "directory containing source files (optional, for source text)")
-		jobs       = flag.Int("jobs", 0, "reconstruction worker count (0 = GOMAXPROCS)")
-		logical    = flag.Bool("logical", false, "stitch multiple snaps into logical threads")
-		interleave = flag.Bool("interleave", false, "print the merged multi-thread view")
-		flat       = flag.Bool("flat", false, "disable call-hierarchy indentation")
-		maxEvents  = flag.Int("max", 0, "cap events shown per thread (0 = all)")
-		showVars   = flag.Bool("vars", false, "print global variable values from the snap's memory dump")
-		showStats  = flag.Bool("stats", false, "print pipeline counters to stderr when done")
+		mapsDir    = fs.String("maps", ".", "directory containing *.map.json mapfiles")
+		srcDir     = fs.String("src", "", "directory containing source files (optional, for source text)")
+		jobs       = fs.Int("jobs", 0, "reconstruction worker count (0 = GOMAXPROCS)")
+		logical    = fs.Bool("logical", false, "stitch multiple snaps into logical threads")
+		interleave = fs.Bool("interleave", false, "print the merged multi-thread view")
+		flat       = fs.Bool("flat", false, "disable call-hierarchy indentation")
+		maxEvents  = fs.Int("max", 0, "cap events shown per thread (0 = all)")
+		showVars   = fs.Bool("vars", false, "print global variable values from the snap's memory dump")
+		showStats  = fs.Bool("stats", false, "print pipeline counters to stderr when done")
+		metricsTo  = fs.String("metrics", "", "write pipeline metrics to this file when done (- = stderr; .json = JSON, else Prometheus text)")
 	)
-	flag.Parse()
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tbrecon [flags] <snap.json | snap-dir> [more...]")
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: tbrecon [flags] <snap.json | snap-dir> [more...]")
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tbrecon:", err)
+		return 1
 	}
 
 	// Mapfiles load lazily, keyed by checksum: the batch pipeline
 	// parses each one at most once no matter how many snaps share it.
 	loader, err := recon.NewDirLoader(*mapsDir)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if loader.NumFiles() == 0 {
-		fmt.Fprintf(os.Stderr, "tbrecon: warning: no mapfiles found in %s\n", *mapsDir)
+		fmt.Fprintf(stderr, "tbrecon: warning: no mapfiles found in %s\n", *mapsDir)
 	}
 	cache := recon.NewMapCache(loader.Load)
 
 	var sources []recon.Source
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		paths, err := expandArg(arg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		for _, p := range paths {
 			sources = append(sources, recon.FileSource(p))
 		}
 	}
 	if len(sources) == 0 {
-		fatal(fmt.Errorf("no snap files found in %s", strings.Join(flag.Args(), ", ")))
+		return fail(fmt.Errorf("no snap files found in %s", strings.Join(fs.Args(), ", ")))
 	}
 
 	opts := recon.RenderOptions{Flat: *flat, MaxEvents: *maxEvents}
@@ -86,49 +107,73 @@ func main() {
 	var pts []*recon.ProcessTrace
 	for _, res := range results {
 		if res.Err != nil {
-			fmt.Fprintln(os.Stderr, "tbrecon:", res.Err)
+			fmt.Fprintln(stderr, "tbrecon:", res.Err)
 			failed++
 			continue
 		}
 		pts = append(pts, res.Trace)
 		if *showVars {
-			recon.RenderVariables(os.Stdout, res.Trace.Snap, cache)
-			fmt.Println()
+			recon.RenderVariables(stdout, res.Trace.Snap, cache)
+			fmt.Fprintln(stdout)
 		}
 	}
 	if len(pts) == 0 {
-		os.Exit(1)
+		return 1
 	}
 
 	switch {
 	case *logical:
 		mt := recon.Stitch(pts)
-		fmt.Printf("stitched %d snap(s) into %d logical thread(s)\n", len(pts), len(mt.Logical))
+		fmt.Fprintf(stdout, "stitched %d snap(s) into %d logical thread(s)\n", len(pts), len(mt.Logical))
 		for pair, skew := range mt.SkewEstimates {
-			fmt.Printf("clock skew estimate: runtime %x -> %x: %d cycles\n", pair[0], pair[1], skew)
+			fmt.Fprintf(stdout, "clock skew estimate: runtime %x -> %x: %d cycles\n", pair[0], pair[1], skew)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		for _, lt := range mt.Logical {
-			recon.RenderLogical(os.Stdout, lt, opts)
-			fmt.Println()
+			recon.RenderLogical(stdout, lt, opts)
+			fmt.Fprintln(stdout)
 		}
 	case *interleave:
 		for _, pt := range pts {
-			recon.RenderInterleaved(os.Stdout, pt)
+			recon.RenderInterleaved(stdout, pt)
 		}
 	default:
 		for _, pt := range pts {
-			recon.Render(os.Stdout, pt, opts)
-			fmt.Println()
+			recon.Render(stdout, pt, opts)
+			fmt.Fprintln(stdout)
 		}
 	}
 
 	if *showStats {
-		fmt.Fprintf(os.Stderr, "tbrecon: %s (jobs %d)\n", pipe.Snapshot(), pipe.Jobs())
+		fmt.Fprintf(stderr, "tbrecon: %s (jobs %d)\n", pipe.Snapshot(), pipe.Jobs())
+	}
+	if *metricsTo != "" {
+		if err := writeMetrics(*metricsTo, stderr, pipe); err != nil {
+			return fail(err)
+		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeMetrics emits the pipeline registry: "-" goes to stderr so
+// stdout stays byte-clean for piped trace output; a path ending in
+// .json gets the JSON form, anything else Prometheus text.
+func writeMetrics(dest string, stderr io.Writer, pipe *recon.Pipeline) error {
+	if dest == "-" {
+		return pipe.Registry().WritePrometheus(stderr)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(dest, ".json") {
+		return pipe.Registry().WriteJSON(f)
+	}
+	return pipe.Registry().WritePrometheus(f)
 }
 
 // expandArg turns a snap file path into itself and a directory into
@@ -154,9 +199,4 @@ func expandArg(arg string) ([]string, error) {
 		return nil, fmt.Errorf("%s: no *.snap.json[.gz] files", arg)
 	}
 	return paths, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tbrecon:", err)
-	os.Exit(1)
 }

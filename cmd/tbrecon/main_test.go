@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"traceback/internal/core"
+	"traceback/internal/minic"
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+)
+
+// writeFixture compiles a faulting program, runs it under the
+// runtime, and writes the snap + mapfile into dir for the CLI.
+func writeFixture(t *testing.T, dir string) (snapPath string) {
+	t.Helper()
+	mod, err := minic.Compile("app", "app.mc", `int main() {
+	int z = 0;
+	exit(1 / z);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	p, rt, err := tbrt.NewProcess(mach, "app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	w.Run(50_000, func() bool { return p.Exited })
+	snaps := rt.Snaps()
+	if len(snaps) == 0 {
+		t.Fatal("no snap from faulting program")
+	}
+
+	mf, err := os.Create(filepath.Join(dir, "app.map.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Map.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	snapPath = filepath.Join(dir, "app-1.snap.json")
+	sf, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snaps[0].Save(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	return snapPath
+}
+
+// TestStdoutByteCleanWithTelemetry is the -metrics/-stats regression
+// guard: the rendered trace on stdout must be byte-identical whether
+// or not telemetry output is requested, because telemetry goes to
+// stderr (or a file) only.
+func TestStdoutByteCleanWithTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := writeFixture(t, dir)
+
+	var plainOut, plainErr bytes.Buffer
+	if code := run([]string{"-maps", dir, snapPath}, &plainOut, &plainErr); code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, plainErr.String())
+	}
+	if plainOut.Len() == 0 {
+		t.Fatal("plain run rendered nothing")
+	}
+
+	var telOut, telErr bytes.Buffer
+	code := run([]string{"-maps", dir, "-stats", "-metrics", "-", snapPath}, &telOut, &telErr)
+	if code != 0 {
+		t.Fatalf("telemetry run exited %d: %s", code, telErr.String())
+	}
+	if !bytes.Equal(plainOut.Bytes(), telOut.Bytes()) {
+		t.Errorf("stdout differs with telemetry enabled:\n--- plain ---\n%s\n--- with -stats -metrics ---\n%s",
+			plainOut.String(), telOut.String())
+	}
+	if !strings.Contains(telErr.String(), "recon_snaps_total") {
+		t.Errorf("stderr missing Prometheus exposition:\n%s", telErr.String())
+	}
+	if !strings.Contains(telErr.String(), "tbrecon: snaps 1") {
+		t.Errorf("stderr missing -stats line:\n%s", telErr.String())
+	}
+}
+
+// TestMetricsFileJSON checks the .json branch of -metrics.
+func TestMetricsFileJSON(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := writeFixture(t, dir)
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-maps", dir, "-metrics", metricsPath, snapPath}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	b, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"recon_snaps_total": 1`) {
+		t.Errorf("metrics JSON missing snap count:\n%s", b)
+	}
+}

@@ -6,17 +6,22 @@
 //	tbrun -snapdir snaps app.tb.tbm
 //	tbrun -policy policy.txt -arg 3 lib.tb.tbm app.tb.tbm
 //	tbrun -kill-after 50000 app.tb.tbm     # abrupt kill, post-mortem snap
+//	tbrun -metrics - app.tb.tbm            # Prometheus exposition on stdout
+//	tbrun -events flight.json app.tb.tbm   # flight-recorder dump for tbdump -events
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"traceback/internal/module"
 	"traceback/internal/snap"
 	"traceback/internal/tbrt"
+	"traceback/internal/telemetry"
 	"traceback/internal/vm"
 )
 
@@ -31,6 +36,8 @@ func main() {
 		killAfter  = flag.Int("kill-after", 0, "kill -9 the process after N scheduling quanta")
 		maxSteps   = flag.Int("maxsteps", 50_000_000, "scheduling quantum budget")
 		seed       = flag.Int64("seed", 42, "machine PRNG seed")
+		metricsTo  = flag.String("metrics", "", "write runtime+VM metrics to this file on exit (- = stdout; .json = JSON, else Prometheus text)")
+		eventsTo   = flag.String("events", "", "write the flight-recorder event dump (JSON) to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -39,11 +46,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One registry is shared by the runtime and the VM, so the
+	// exposition shows tbrt_ and vm_ metrics side by side and the
+	// flight recorder interleaves events from both layers.
+	reg := telemetry.New()
 	cfg := tbrt.Config{
 		BufferWords: *bufWords,
 		NumBuffers:  *numBufs,
 		SubBuffers:  *subBufs,
 		Policy:      tbrt.DefaultPolicy(),
+		Telemetry:   reg,
 	}
 	if *policyPath != "" {
 		f, err := os.Open(*policyPath)
@@ -78,6 +90,7 @@ func main() {
 
 	world := vm.NewWorld(*seed)
 	mach := world.NewMachine("tbrun-host", 0)
+	mach.EnableTelemetry(reg)
 	name := filepath.Base(flag.Arg(flag.NArg() - 1))
 	proc, rt, err := tbrt.NewProcess(mach, name, cfg)
 	if err != nil {
@@ -127,6 +140,41 @@ func main() {
 	default:
 		fmt.Printf("process exited normally: status %d (%d cycles)\n", proc.ExitCode, proc.Cycles)
 	}
+
+	if *metricsTo != "" {
+		if err := writeMetrics(*metricsTo, reg); err != nil {
+			fatal(err)
+		}
+	}
+	if *eventsTo != "" {
+		f, err := os.Create(*eventsTo)
+		if err != nil {
+			fatal(err)
+		}
+		err = reg.FlightRecorder().WriteJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetrics emits the shared registry: "-" goes to stdout; a path
+// ending in .json gets the JSON form, anything else Prometheus text.
+func writeMetrics(dest string, reg *telemetry.Registry) error {
+	var w io.Writer = os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(dest, ".json") {
+		return reg.WriteJSON(w)
+	}
+	return reg.WritePrometheus(w)
 }
 
 func fatal(err error) {

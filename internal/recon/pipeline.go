@@ -5,10 +5,10 @@ import (
 	"os"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"traceback/internal/snap"
+	"traceback/internal/telemetry"
 )
 
 // Pipeline is the parallel reconstruction engine: it fans snap
@@ -31,7 +31,29 @@ type Pipeline struct {
 	// even when batch and per-snap stages nest.
 	sem chan struct{}
 
-	Stats Stats
+	reg *telemetry.Registry
+	met pipeMetrics
+}
+
+// pipeMetrics holds the pipeline's registry-backed handles. Stage
+// times accumulate as nanosecond counters, summed across workers
+// (≈ CPU time when workers saturate cores); snapNanos records the
+// per-snap end-to-end latency distribution.
+type pipeMetrics struct {
+	snaps      *telemetry.Counter
+	snapErrors *telemetry.Counter
+	buffers    *telemetry.Counter
+	records    *telemetry.Counter
+	segments   *telemetry.Counter
+	events     *telemetry.Counter
+
+	loadNanos   *telemetry.Counter // snap read + parse
+	mineNanos   *telemetry.Counter // logical-span recovery + record mining
+	expandNanos *telemetry.Counter // DAG resolution + block/line expansion
+	joinNanos   *telemetry.Counter // ordered assembly of the ProcessTrace
+	wallNanos   *telemetry.Counter // Run() wall-clock, cumulative
+
+	snapNanos *telemetry.Histogram
 }
 
 // NewPipeline creates a pipeline over maps with the given worker
@@ -40,31 +62,37 @@ func NewPipeline(maps MapResolver, jobs int) *Pipeline {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	return &Pipeline{maps: maps, jobs: jobs, sem: make(chan struct{}, jobs-1)}
+	p := &Pipeline{maps: maps, jobs: jobs, sem: make(chan struct{}, jobs-1)}
+	reg := telemetry.New()
+	p.reg = reg
+	p.met = pipeMetrics{
+		snaps:       reg.Counter("recon_snaps_total", "snaps fully reconstructed"),
+		snapErrors:  reg.Counter("recon_snap_errors_total", "sources that failed to load or expand"),
+		buffers:     reg.Counter("recon_buffers_mined_total", "trace buffers mined for records"),
+		records:     reg.Counter("recon_records_mined_total", "trace records recovered"),
+		segments:    reg.Counter("recon_segments_expanded_total", "thread segments expanded to events"),
+		events:      reg.Counter("recon_events_emitted_total", "trace events emitted"),
+		loadNanos:   reg.Counter("recon_load_nanos_total", "snap read + parse time (ns, summed across workers)"),
+		mineNanos:   reg.Counter("recon_mine_nanos_total", "record mining time (ns, summed across workers)"),
+		expandNanos: reg.Counter("recon_expand_nanos_total", "segment expansion time (ns, summed across workers)"),
+		joinNanos:   reg.Counter("recon_join_nanos_total", "ordered trace assembly time (ns)"),
+		wallNanos:   reg.Counter("recon_wall_nanos_total", "batch Run() wall-clock (ns, cumulative)"),
+		snapNanos:   reg.Histogram("recon_snap_nanos", "per-snap end-to-end reconstruction latency (ns)", telemetry.DurationBuckets()),
+	}
+	if c, ok := maps.(*MapCache); ok {
+		reg.GaugeFunc("recon_mapcache_hits", "mapfile cache hits", c.Hits)
+		reg.GaugeFunc("recon_mapcache_misses", "mapfile cache misses (parses)", c.Misses)
+		reg.GaugeFunc("recon_mapcache_entries", "mapfiles resident in the cache", func() int64 { return int64(c.Len()) })
+	}
+	return p
 }
 
 // Jobs reports the worker budget.
 func (p *Pipeline) Jobs() int { return p.jobs }
 
-// Stats holds the pipeline's per-stage counters, updated atomically
-// by workers; scrape them live or via Snapshot. Cache hit/miss counts
-// live on the MapCache and are merged into StatsSnapshot.
-type Stats struct {
-	SnapsProcessed   atomic.Int64 // snaps fully reconstructed
-	SnapErrors       atomic.Int64 // sources that failed to load or expand
-	BuffersMined     atomic.Int64
-	RecordsMined     atomic.Int64
-	SegmentsExpanded atomic.Int64
-	EventsEmitted    atomic.Int64
-
-	// Per-stage time, summed across workers (≈ CPU time when workers
-	// saturate cores), plus batch wall-clock.
-	LoadNanos   atomic.Int64 // snap read + parse
-	MineNanos   atomic.Int64 // logical-span recovery + record mining
-	ExpandNanos atomic.Int64 // DAG resolution + block/line expansion
-	JoinNanos   atomic.Int64 // ordered assembly of the ProcessTrace
-	WallNanos   atomic.Int64 // Run() wall-clock, cumulative
-}
+// Registry exposes the pipeline's metrics registry for exposition
+// (tbrecon -metrics) or for sharing with other layers.
+func (p *Pipeline) Registry() *telemetry.Registry { return p.reg }
 
 // StatsSnapshot is a plain-value copy of the counters for scraping.
 type StatsSnapshot struct {
@@ -81,20 +109,21 @@ type StatsSnapshot struct {
 }
 
 // Snapshot copies the counters, merging cache hit/miss counts when
-// the pipeline's resolver is a *MapCache.
+// the pipeline's resolver is a *MapCache. It is a derived view over
+// the metrics registry; the registry is the single system of record.
 func (p *Pipeline) Snapshot() StatsSnapshot {
 	s := StatsSnapshot{
-		SnapsProcessed:   p.Stats.SnapsProcessed.Load(),
-		SnapErrors:       p.Stats.SnapErrors.Load(),
-		BuffersMined:     p.Stats.BuffersMined.Load(),
-		RecordsMined:     p.Stats.RecordsMined.Load(),
-		SegmentsExpanded: p.Stats.SegmentsExpanded.Load(),
-		EventsEmitted:    p.Stats.EventsEmitted.Load(),
-		Load:             time.Duration(p.Stats.LoadNanos.Load()),
-		Mine:             time.Duration(p.Stats.MineNanos.Load()),
-		Expand:           time.Duration(p.Stats.ExpandNanos.Load()),
-		Join:             time.Duration(p.Stats.JoinNanos.Load()),
-		Wall:             time.Duration(p.Stats.WallNanos.Load()),
+		SnapsProcessed:   int64(p.met.snaps.Load()),
+		SnapErrors:       int64(p.met.snapErrors.Load()),
+		BuffersMined:     int64(p.met.buffers.Load()),
+		RecordsMined:     int64(p.met.records.Load()),
+		SegmentsExpanded: int64(p.met.segments.Load()),
+		EventsEmitted:    int64(p.met.events.Load()),
+		Load:             time.Duration(p.met.loadNanos.Load()),
+		Mine:             time.Duration(p.met.mineNanos.Load()),
+		Expand:           time.Duration(p.met.expandNanos.Load()),
+		Join:             time.Duration(p.met.joinNanos.Load()),
+		Wall:             time.Duration(p.met.wallNanos.Load()),
 	}
 	if c, ok := p.maps.(*MapCache); ok {
 		s.CacheHits = c.Hits()
@@ -149,24 +178,25 @@ func (p *Pipeline) Run(sources []Source) []Result {
 	p.parallelDo(len(sources), func(i int) {
 		out[i] = p.runOne(sources[i])
 	})
-	p.Stats.WallNanos.Add(time.Since(start).Nanoseconds())
+	p.met.wallNanos.Add(uint64(time.Since(start).Nanoseconds()))
 	return out
 }
 
 func (p *Pipeline) runOne(src Source) Result {
 	t0 := time.Now()
+	defer func() { p.met.snapNanos.Observe(uint64(time.Since(t0))) }()
 	s, err := src.Load()
-	p.Stats.LoadNanos.Add(time.Since(t0).Nanoseconds())
+	p.met.loadNanos.Add(uint64(time.Since(t0).Nanoseconds()))
 	if err != nil {
-		p.Stats.SnapErrors.Add(1)
+		p.met.snapErrors.Inc()
 		return Result{Name: src.Name, Err: fmt.Errorf("%s: %w", src.Name, err)}
 	}
 	pt, err := p.ReconstructSnap(s)
 	if err != nil {
-		p.Stats.SnapErrors.Add(1)
+		p.met.snapErrors.Inc()
 		return Result{Name: src.Name, Err: fmt.Errorf("%s: %w", src.Name, err)}
 	}
-	p.Stats.SnapsProcessed.Add(1)
+	p.met.snaps.Inc()
 	return Result{Name: src.Name, Trace: pt}
 }
 
@@ -180,15 +210,15 @@ func (p *Pipeline) ReconstructSnap(s *snap.Snap) (*ProcessTrace, error) {
 	p.parallelDo(len(s.Buffers), func(bi int) {
 		plans[bi] = mineBuffer(&s.Buffers[bi])
 	})
-	p.Stats.MineNanos.Add(time.Since(t0).Nanoseconds())
-	p.Stats.BuffersMined.Add(int64(len(s.Buffers)))
+	p.met.mineNanos.Add(uint64(time.Since(t0).Nanoseconds()))
+	p.met.buffers.Add(uint64(len(s.Buffers)))
 
 	// Stage 2: expand every thread segment (independent per segment;
 	// the resolver is shared and read-only or internally locked).
 	type segJob struct{ bi, si int }
 	var jobs []segJob
 	for bi := range plans {
-		p.Stats.RecordsMined.Add(int64(plans[bi].recordsMined))
+		p.met.records.Add(uint64(plans[bi].recordsMined))
 		for si := range plans[bi].segs {
 			jobs = append(jobs, segJob{bi, si})
 		}
@@ -200,13 +230,13 @@ func (p *Pipeline) ReconstructSnap(s *snap.Snap) (*ProcessTrace, error) {
 		j := jobs[k]
 		threads[k], errs[k] = expandSegment(s, p.maps, plans[j.bi].segs[j.si])
 	})
-	p.Stats.ExpandNanos.Add(time.Since(t0).Nanoseconds())
+	p.met.expandNanos.Add(uint64(time.Since(t0).Nanoseconds()))
 
 	// Join: assemble in buffer/segment order so the output is
 	// byte-identical to the sequential oracle, including which error
 	// wins when several segments fail.
 	t0 = time.Now()
-	defer func() { p.Stats.JoinNanos.Add(time.Since(t0).Nanoseconds()) }()
+	defer func() { p.met.joinNanos.Add(uint64(time.Since(t0).Nanoseconds())) }()
 	pt := &ProcessTrace{Snap: s}
 	for k, j := range jobs {
 		if errs[k] != nil {
@@ -214,10 +244,10 @@ func (p *Pipeline) ReconstructSnap(s *snap.Snap) (*ProcessTrace, error) {
 		}
 		tt := threads[k]
 		tt.Truncated = tt.Truncated || plans[j.bi].truncated
-		p.Stats.EventsEmitted.Add(int64(len(tt.Events)))
+		p.met.events.Add(uint64(len(tt.Events)))
 		pt.Threads = append(pt.Threads, tt)
 	}
-	p.Stats.SegmentsExpanded.Add(int64(len(jobs)))
+	p.met.segments.Add(uint64(len(jobs)))
 	for bi := range plans {
 		pt.Unrecoverable += plans[bi].unrecoverable
 	}

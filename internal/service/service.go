@@ -11,6 +11,7 @@ import (
 
 	"traceback/internal/snap"
 	"traceback/internal/tbrt"
+	"traceback/internal/telemetry"
 	"traceback/internal/vm"
 )
 
@@ -29,6 +30,15 @@ type Service struct {
 
 	// Snaps collects snaps the service triggered.
 	Snaps []*snap.Snap
+
+	// Self-telemetry (svc_ prefix) plus a flight recorder for
+	// heartbeat misses.
+	reg        *telemetry.Registry
+	rec        *telemetry.Recorder
+	heartbeats *telemetry.Counter
+	hangs      *telemetry.Counter
+	externals  *telemetry.Counter
+	groupSnaps *telemetry.Counter
 }
 
 // New creates the machine's service process.
@@ -36,8 +46,26 @@ func New(m *vm.Machine, hangCycles uint64) *Service {
 	if hangCycles == 0 {
 		hangCycles = 500_000
 	}
-	return &Service{machine: m, HangCycles: hangCycles}
+	s := &Service{machine: m, HangCycles: hangCycles}
+	s.bindTelemetry(telemetry.New())
+	return s
 }
+
+// UseTelemetry rebinds the service's metrics onto a shared registry
+// (call before the first CheckStatus to keep counts in one place).
+func (s *Service) UseTelemetry(reg *telemetry.Registry) { s.bindTelemetry(reg) }
+
+func (s *Service) bindTelemetry(reg *telemetry.Registry) {
+	s.reg = reg
+	s.rec = reg.Recorder(256)
+	s.heartbeats = reg.Counter("svc_heartbeats_total", "STATUS sweeps over registered runtimes")
+	s.hangs = reg.Counter("svc_hangs_total", "processes declared hung by heartbeat timeout")
+	s.externals = reg.Counter("svc_external_snaps_total", "external snaps triggered by name")
+	s.groupSnaps = reg.Counter("svc_group_snaps_total", "group-propagated snaps taken")
+}
+
+// Metrics returns the service's registry.
+func (s *Service) Metrics() *telemetry.Registry { return s.reg }
 
 // Register adds a runtime to the service (the runtime side of the
 // local protocol).
@@ -63,6 +91,7 @@ func (s *Service) Group(names ...string) {
 func (s *Service) CheckStatus() []string {
 	var hung []string
 	now := s.machine.Clock()
+	s.heartbeats.Inc()
 	for _, rt := range s.runtimes {
 		p := rt.Proc()
 		if p.Exited || !p.Alive() {
@@ -72,6 +101,8 @@ func (s *Service) CheckStatus() []string {
 			continue
 		}
 		hung = append(hung, p.Name)
+		s.hangs.Inc()
+		s.rec.Record(now, "heartbeat-miss", p.Name)
 		if rt.PolicyHang() {
 			if sn := rt.TakeSnap(tbrt.SnapReason{Kind: "hang", Detail: "heartbeat timeout"}); sn != nil {
 				s.Snaps = append(s.Snaps, sn)
@@ -98,6 +129,7 @@ func (s *Service) ExternalSnap(name string) (*snap.Snap, error) {
 		}
 		if sn != nil {
 			s.Snaps = append(s.Snaps, sn)
+			s.externals.Inc()
 		}
 		return sn, nil
 	}
@@ -136,6 +168,7 @@ func (s *Service) snapGroupOf(name string) {
 					if rt.Proc().Name == n && !rt.Proc().Exited {
 						if sn := rt.TakeSnap(tbrt.SnapReason{Kind: "group", Detail: "fault in " + name}); sn != nil {
 							s.Snaps = append(s.Snaps, sn)
+							s.groupSnaps.Inc()
 						}
 					}
 				}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// StatusReport is the service's STATUS reply: machine identity, the
+// service's own counters, and one entry per registered runtime with
+// that runtime's full metrics snapshot. It is the wire form of the
+// paper's STATUS message, extended with self-telemetry.
+type StatusReport struct {
+	Machine    string          `json:"machine"`
+	Clock      uint64          `json:"clock"`
+	HangCycles uint64          `json:"hang_cycles"`
+	Service    json.RawMessage `json:"service"`
+	Processes  []ProcessStatus `json:"processes"`
+}
+
+// ProcessStatus is one registered runtime's slice of the report.
+type ProcessStatus struct {
+	Name    string          `json:"name"`
+	PID     int             `json:"pid"`
+	Alive   bool            `json:"alive"`
+	Exited  bool            `json:"exited"`
+	Metrics json.RawMessage `json:"metrics"`
+}
+
+// Status assembles the extended STATUS report.
+func (s *Service) Status() (*StatusReport, error) {
+	var svcBuf bytes.Buffer
+	if err := s.reg.WriteJSON(&svcBuf); err != nil {
+		return nil, err
+	}
+	rep := &StatusReport{
+		Machine:    s.machine.Name,
+		Clock:      s.machine.Clock(),
+		HangCycles: s.HangCycles,
+		Service:    json.RawMessage(svcBuf.Bytes()),
+		Processes:  []ProcessStatus{},
+	}
+	for _, rt := range s.runtimes {
+		p := rt.Proc()
+		var buf bytes.Buffer
+		if err := rt.Metrics().WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		rep.Processes = append(rep.Processes, ProcessStatus{
+			Name:    p.Name,
+			PID:     p.PID,
+			Alive:   p.Alive(),
+			Exited:  p.Exited,
+			Metrics: json.RawMessage(buf.Bytes()),
+		})
+	}
+	return rep, nil
+}
+
+// WriteStatus writes the STATUS report as indented JSON.
+func (s *Service) WriteStatus(w io.Writer) error {
+	rep, err := s.Status()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

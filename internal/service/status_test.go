@@ -1,0 +1,124 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+)
+
+func TestServiceTelemetryAndStatus(t *testing.T) {
+	res := buildApp(t, hangSrc)
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	p, rt, err := tbrt.NewProcess(mach, "hung-app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	svc := New(mach, 10_000)
+	svc.Register(rt)
+
+	w.Run(1000, func() bool { return p.Exited })
+	svc.CheckStatus() // healthy sweep
+	mach.SetClock(mach.Clock() + 50_000)
+	svc.CheckStatus() // hung sweep
+
+	reg := svc.Metrics()
+	if got := reg.Counter("svc_heartbeats_total", "").Load(); got != 2 {
+		t.Errorf("heartbeats = %d, want 2", got)
+	}
+	if got := reg.Counter("svc_hangs_total", "").Load(); got != 1 {
+		t.Errorf("hangs = %d, want 1", got)
+	}
+	events := reg.FlightRecorder().Events()
+	miss := false
+	for _, e := range events {
+		if e.Kind == "heartbeat-miss" && e.Detail == "hung-app" {
+			miss = true
+		}
+	}
+	if !miss {
+		t.Errorf("no heartbeat-miss flight event in %v", events)
+	}
+
+	var buf bytes.Buffer
+	if err := svc.WriteStatus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep StatusReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("STATUS not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Machine != "host" || rep.HangCycles != 10_000 {
+		t.Errorf("header = %q/%d", rep.Machine, rep.HangCycles)
+	}
+	if len(rep.Processes) != 1 || rep.Processes[0].Name != "hung-app" {
+		t.Fatalf("processes = %+v", rep.Processes)
+	}
+	// The runtime's metrics ride along: the hang snap must show up in
+	// the embedded per-process counters.
+	var procMetrics struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rep.Processes[0].Metrics, &procMetrics); err != nil {
+		t.Fatal(err)
+	}
+	if procMetrics.Counters["tbrt_snaps_total"] == 0 {
+		t.Errorf("per-process metrics missing snap count: %v", procMetrics.Counters)
+	}
+	// The service's own section carries the svc_ counters.
+	var svcMetrics struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rep.Service, &svcMetrics); err != nil {
+		t.Fatal(err)
+	}
+	if svcMetrics.Counters["svc_hangs_total"] != 1 {
+		t.Errorf("service counters = %v", svcMetrics.Counters)
+	}
+}
+
+func TestServiceExternalAndGroupCounters(t *testing.T) {
+	res := buildApp(t, `int main() {
+	int i = 0;
+	while (1) { i = i + 1; yield(); }
+	exit(0);
+}`)
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	p1, rt1, err := tbrt.NewProcess(mach, "web", tbrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Load(res.Module)
+	p2, rt2, err := tbrt.NewProcess(mach, "db", tbrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Load(res.Module)
+	p1.StartMain(0)
+	p2.StartMain(0)
+	w.Run(1000, nil)
+
+	svc := New(mach, 0)
+	svc.Register(rt1)
+	svc.Register(rt2)
+	svc.Group("web", "db")
+
+	if _, err := svc.ExternalSnap("web"); err != nil {
+		t.Fatal(err)
+	}
+	svc.NotifyFault("web")
+
+	reg := svc.Metrics()
+	if got := reg.Counter("svc_external_snaps_total", "").Load(); got != 1 {
+		t.Errorf("external snaps = %d, want 1", got)
+	}
+	if got := reg.Counter("svc_group_snaps_total", "").Load(); got != 1 {
+		t.Errorf("group snaps = %d, want 1", got)
+	}
+}

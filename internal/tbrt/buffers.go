@@ -1,6 +1,8 @@
 package tbrt
 
 import (
+	"strconv"
+
 	"traceback/internal/trace"
 	"traceback/internal/vm"
 )
@@ -15,9 +17,11 @@ func (rt *Runtime) assignBuffer(t *vm.Thread) *buffer {
 	if len(rt.free) > 0 {
 		b = rt.free[0]
 		rt.free = rt.free[1:]
+		rt.met.buffersFree.Set(int64(len(rt.free)))
 	} else {
 		b = rt.desperation
-		rt.Desperations++
+		rt.met.desperations.Inc()
+		rt.event("desperation", "tid "+strconv.Itoa(t.TID))
 	}
 	rt.byThread[t.TID] = b
 	rt.hdrWrite(b, hdrOwner, uint32(t.TID))
@@ -62,7 +66,8 @@ func (rt *Runtime) allocSlot(t *vm.Thread, b *buffer) uint64 {
 // Threads in the desperation buffer take this opportunity to move to
 // a real buffer if one has freed up (paper §3.1).
 func (rt *Runtime) wrap(t *vm.Thread, b *buffer, at uint64) uint64 {
-	rt.Wraps++
+	rt.met.wraps.Inc()
+	rt.event("buffer-wrap", "tid "+strconv.Itoa(t.TID))
 	if b.kind == bufDesperation && len(rt.free) > 0 {
 		nb := rt.assignBuffer(t)
 		return rt.allocSlot(t, nb)
@@ -76,7 +81,7 @@ func (rt *Runtime) wrap(t *vm.Thread, b *buffer, at uint64) uint64 {
 	sub := idx / b.subWords
 	if b.subs > 1 {
 		rt.hdrWrite(b, hdrCommitted, uint32(sub))
-		rt.SubCommits++
+		rt.met.subCommits.Inc()
 	}
 	nextSub := (sub + 1) % b.subs
 	start := nextSub * b.subWords
@@ -141,6 +146,7 @@ func (rt *Runtime) releaseBuffer(t *vm.Thread, orderly bool) {
 	if b.kind == bufMain {
 		rt.hdrWrite(b, hdrOwner, 0)
 		rt.free = append(rt.free, b)
+		rt.met.buffersFree.Set(int64(len(rt.free)))
 	}
 }
 
@@ -154,6 +160,8 @@ func (rt *Runtime) ScavengeDeadThreads() int {
 		if t == nil || (t.State == vm.Exited && t.KilledAbruptly) {
 			_ = b
 			rt.releaseBuffer(t, false)
+			rt.met.scavenges.Inc()
+			rt.event("scavenge", "tid "+strconv.Itoa(tid))
 			n++
 		}
 	}

@@ -86,7 +86,8 @@ func (rt *Runtime) OnModuleLoad(p *vm.Process, lm *vm.LoadedModule) {
 		// ID space exhausted: rewrite every probe to the bad-DAG ID.
 		// The module runs untraced but unharmed (paper §2.3).
 		li.badDAG = true
-		rt.BadDAGs++
+		rt.met.badDAGs.Inc()
+		rt.event("bad-dag", mod.Name)
 		for _, fx := range mod.DAGFixups {
 			p.Code[lm.CodeBase+fx].Imm = int32(trace.DAGWord(trace.BadDAGID, 0))
 		}
@@ -94,7 +95,7 @@ func (rt *Runtime) OnModuleLoad(p *vm.Process, lm *vm.LoadedModule) {
 		return
 	}
 	if base != mod.DAGBase {
-		rt.Rebased++
+		rt.met.rebased.Inc()
 		for _, fx := range mod.DAGFixups {
 			in := &p.Code[lm.CodeBase+fx]
 			local := trace.DAGID(uint32(in.Imm)) - mod.DAGBase
@@ -311,6 +312,8 @@ func (rt *Runtime) OnRPCSend(t *vm.Thread, reply bool) []byte {
 		Point: point, RuntimeID: bind.originRT,
 		LogicalThread: bind.ltid, Seq: bind.seq, TS: rt.now(),
 	}))
+	rt.met.syncs.Inc()
+	rt.event("rpc-sync", point.String())
 	return encodeExt(bind.originRT, bind.ltid, bind.seq)
 }
 
@@ -335,4 +338,6 @@ func (rt *Runtime) OnRPCRecv(t *vm.Thread, ext []byte, reply bool) {
 		Point: point, RuntimeID: rtid,
 		LogicalThread: ltid, Seq: bind.seq, TS: rt.now(),
 	}))
+	rt.met.syncs.Inc()
+	rt.event("rpc-sync", point.String())
 }

@@ -20,6 +20,7 @@ import (
 
 	"traceback/internal/isa"
 	"traceback/internal/snap"
+	"traceback/internal/telemetry"
 	"traceback/internal/trace"
 	"traceback/internal/vm"
 )
@@ -55,6 +56,15 @@ type Config struct {
 	Policy Policy
 	// SnapSink receives completed snaps (default: collect in memory).
 	SnapSink func(*snap.Snap)
+	// Telemetry is the metrics registry the runtime instruments
+	// itself on (default: a private registry). Pass a shared registry
+	// to aggregate runtime, VM, and service metrics into one
+	// exposition. Telemetry is host-side: it never charges VM cycles.
+	Telemetry *telemetry.Registry
+	// EventBuffer sizes the flight recorder — the ring of the last N
+	// notable events (default 256). The recorder is shared through
+	// the registry, so layers on one registry share one ring.
+	EventBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +79,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TLSSlot == 0 {
 		c.TLSSlot = isa.TLSSlot
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.New()
+	}
+	if c.EventBuffer == 0 {
+		c.EventBuffer = 256
 	}
 	c.Policy = c.Policy.withDefaults()
 	return c
@@ -147,12 +163,10 @@ type Runtime struct {
 	suppress map[string]int
 	snaps    []*snap.Snap
 
-	// Stats observable by tests and benches.
-	Wraps        int
-	SubCommits   int
-	Desperations int
-	Rebased      int
-	BadDAGs      int
+	// met holds the runtime's registry-backed self-telemetry; the
+	// legacy stat accessors (Wraps, SubCommits, ...) read from it.
+	met rtMetrics
+	rec *telemetry.Recorder
 }
 
 type loadedInfo struct {
@@ -190,9 +204,12 @@ func NewProcess(m *vm.Machine, name string, cfg Config) (*vm.Process, *Runtime, 
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%s/%d", m.Name, name, p.PID)
 	rt.ID = h.Sum64()
+	rt.initMetrics()
 	if err := rt.initBuffers(); err != nil {
 		return nil, nil, err
 	}
+	rt.met.buffersFree.Set(int64(len(rt.free)))
+	rt.met.buffersTotal.Set(int64(len(rt.buffers)))
 	return p, rt, nil
 }
 

@@ -164,8 +164,8 @@ func TestBufferWrapAndSubCommit(t *testing.T) {
 	if err := vm.RunProcess(p, 1_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if rt.Wraps == 0 || rt.SubCommits == 0 {
-		t.Errorf("wraps=%d subCommits=%d, want both > 0", rt.Wraps, rt.SubCommits)
+	if rt.Wraps() == 0 || rt.SubCommits() == 0 {
+		t.Errorf("wraps=%d subCommits=%d, want both > 0", rt.Wraps(), rt.SubCommits())
 	}
 	s := rt.PostMortemSnap()
 	// The wrapped buffer still mines to valid records.
@@ -345,8 +345,8 @@ func TestDAGRebasingOnConflict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rt.Rebased != 1 {
-		t.Fatalf("rebased = %d, want 1 (both modules default to base 0)", rt.Rebased)
+	if rt.Rebased() != 1 {
+		t.Fatalf("rebased = %d, want 1 (both modules default to base 0)", rt.Rebased())
 	}
 	if lma.DAGBase == lmb.DAGBase {
 		t.Error("conflicting modules share a DAG base")
@@ -411,8 +411,8 @@ func TestBadDAGFallback(t *testing.T) {
 	res2 := instr(t, m2, core.Options{})
 	res2.Module.DAGCount = trace.MaxDAGID - 1
 	p.Load(res2.Module)
-	if rt.BadDAGs != 1 {
-		t.Fatalf("badDAGs = %d, want 1", rt.BadDAGs)
+	if rt.BadDAGs() != 1 {
+		t.Fatalf("badDAGs = %d, want 1", rt.BadDAGs())
 	}
 	// The second module's probes all use the bad-DAG ID.
 	lm := p.Modules[1]
@@ -480,7 +480,7 @@ func TestDesperationOverflow(t *testing.T) {
 	p.Load(res.Module)
 	p.StartMain(0)
 	vm.RunProcess(p, 1_000_000)
-	if rt.Desperations == 0 {
+	if rt.Desperations() == 0 {
 		t.Error("expected at least one thread in the desperation buffer")
 	}
 	if p.FatalSignal != 0 || p.ExitCode != 0 {

@@ -3,6 +3,7 @@ package tbrt
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"traceback/internal/snap"
 	"traceback/internal/trace"
@@ -42,6 +43,7 @@ func (rt *Runtime) TakeSnap(reason SnapReason) *snap.Snap {
 	key := reason.suppressKey()
 	rt.suppress[key]++
 	if rt.suppress[key] > rt.cfg.Policy.MaxRepeat {
+		rt.met.suppressed.Inc()
 		return nil
 	}
 	// Annotate the triggering thread's trace.
@@ -75,7 +77,15 @@ func (rt *Runtime) PostMortemSnap() *snap.Snap {
 	return s
 }
 
+// buildSnap assembles the snap and records the host-side build
+// latency and captured trace volume (host wall time only — the VM
+// clock is never charged, so instrumenting the snap path cannot
+// perturb the paper's cycle ratios).
 func (rt *Runtime) buildSnap(reason SnapReason) *snap.Snap {
+	t0 := time.Now()
+	defer func() { rt.met.snapNanos.Observe(uint64(time.Since(t0))) }()
+	rt.met.snaps.Inc()
+	rt.event("snap", reason.String())
 	p := rt.proc
 	s := &snap.Snap{
 		Host:       p.Machine.Name,
@@ -115,9 +125,12 @@ func (rt *Runtime) buildSnap(reason SnapReason) *snap.Snap {
 	}
 	all := append([]*buffer{}, rt.buffers...)
 	all = append(all, rt.static, rt.desperation)
+	words := 0
 	for _, b := range all {
 		s.Buffers = append(s.Buffers, rt.dumpBuffer(b))
+		words += b.words
 	}
+	rt.met.snapWords.Observe(uint64(words))
 	for id := range rt.partners {
 		s.Partners = append(s.Partners, id)
 	}

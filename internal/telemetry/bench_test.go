@@ -1,0 +1,44 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkCounterInc is the hot-path budget check: instrumenting the
+// instrumenter must cost < 10ns per increment so telemetry cannot
+// distort the Table 1/2/3 ratios (which are VM-cycle ratios anyway —
+// telemetry is host-side and charges zero cycles; this bounds the
+// wall-clock side).
+func BenchmarkCounterInc(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Load() != uint64(b.N) {
+		b.Fatal("lost updates")
+	}
+}
+
+// BenchmarkCounterIncParallel measures contended increments.
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkHistogramObserve bounds the histogram hot path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench_nanos", "", DurationBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// golden registry used by both exposition tests.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("tbrt_wraps_total", "trace buffer wraps").Add(3)
+	r.Gauge("tbrt_buffers_free", "free main buffers").Set(7)
+	r.GaugeFunc("vm_cycles", "machine clock", func() int64 { return 42 })
+	h := r.Histogram("recon_snap_nanos", "per-snap reconstruction latency", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	rec := r.Recorder(4)
+	rec.Record(9, "snap", "exception SIGSEGV")
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP recon_snap_nanos per-snap reconstruction latency
+# TYPE recon_snap_nanos histogram
+recon_snap_nanos_bucket{le="10"} 1
+recon_snap_nanos_bucket{le="100"} 2
+recon_snap_nanos_bucket{le="+Inf"} 3
+recon_snap_nanos_sum 555
+recon_snap_nanos_count 3
+# HELP tbrt_buffers_free free main buffers
+# TYPE tbrt_buffers_free gauge
+tbrt_buffers_free 7
+# HELP tbrt_wraps_total trace buffer wraps
+# TYPE tbrt_wraps_total counter
+tbrt_wraps_total 3
+# HELP vm_cycles machine clock
+# TYPE vm_cycles gauge
+vm_cycles 42
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "counters": {
+    "tbrt_wraps_total": 3
+  },
+  "gauges": {
+    "tbrt_buffers_free": 7,
+    "vm_cycles": 42
+  },
+  "histograms": {
+    "recon_snap_nanos": {
+      "bounds": [
+        10,
+        100
+      ],
+      "counts": [
+        1,
+        1,
+        1
+      ],
+      "sum": 555,
+      "count": 3,
+      "p50": 100,
+      "p95": 100,
+      "p99": 100
+    }
+  },
+  "events": {
+    "total": 1,
+    "dropped": 0,
+    "events": [
+      {
+        "seq": 0,
+        "clock": 9,
+        "kind": "snap",
+        "detail": "exception SIGSEGV"
+      }
+    ]
+  }
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("json exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionDeterministic: two writes of the same registry are
+// byte-identical (map iteration must not leak into output order).
+func TestExpositionDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	for _, write := range []func(*bytes.Buffer) error{
+		func(b *bytes.Buffer) error { return r.WritePrometheus(b) },
+		func(b *bytes.Buffer) error { return r.WriteJSON(b) },
+	} {
+		var a, b bytes.Buffer
+		if err := write(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := write(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatal("exposition not deterministic across writes")
+		}
+	}
+}

@@ -316,8 +316,14 @@ const RPCServerFault = 0x80010105
 // abnormally.
 func (m *Machine) fault(t *Thread, sig int) {
 	p := t.Proc
+	if m.met != nil {
+		m.met.faults.Inc()
+	}
 	p.Hooks.OnException(t, sig, t.PC)
 	if h, ok := p.Handlers[sig]; ok && h != 0 && len(t.sigCtx) < 8 {
+		if m.met != nil {
+			m.met.signals.Inc()
+		}
 		// Save context, enter the handler with the signal number as
 		// its argument; its RET unwinds through the marker.
 		ctx := sigContext{regs: t.Regs, pc: t.PC, sig: sig}

@@ -14,6 +14,9 @@ import (
 func (m *Machine) syscall(t *Thread, num int) (stepResult, int) {
 	p := t.Proc
 	r := &t.Regs
+	if m.met != nil {
+		m.met.syscalls[classifySyscall(num)].Inc()
+	}
 	p.Hooks.OnSyscall(t, num)
 
 	switch num {

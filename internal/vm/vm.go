@@ -263,6 +263,10 @@ type Machine struct {
 
 	// rrIndex implements round-robin across the machine's threads.
 	rrIndex int
+
+	// met is the machine's optional self-telemetry (EnableTelemetry);
+	// nil means every instrumentation point is a single branch.
+	met *machMetrics
 }
 
 // Clock returns the machine's raw cycle counter.
@@ -418,6 +422,9 @@ func (p *Process) Load(mod *module.Module) (*LoadedModule, error) {
 		Handle:   p.nextHandle,
 	}
 	p.Modules = append(p.Modules, lm)
+	if m := p.Machine.met; m != nil {
+		m.modLoads.Inc()
+	}
 	p.Hooks.OnModuleLoad(p, lm)
 	return lm, nil
 }
@@ -444,6 +451,9 @@ func (p *Process) Unload(lm *LoadedModule) {
 		return
 	}
 	lm.Unloaded = true
+	if m := p.Machine.met; m != nil {
+		m.modUnl.Inc()
+	}
 	p.Hooks.OnModuleUnload(p, lm)
 }
 
@@ -486,6 +496,9 @@ func (p *Process) StartThread(entry uint64, arg uint64) (*Thread, error) {
 	// marker, terminating it cleanly.
 	t.push(threadExitMarker)
 	p.Threads[t.TID] = t
+	if m := p.Machine.met; m != nil {
+		m.threads.Inc()
+	}
 	p.Hooks.OnThreadStart(t)
 	return t, nil
 }
