@@ -3,12 +3,13 @@
 #   make build       compile + vet everything
 #   make test        full test suite
 #   make vet         static analysis only
-#   make ci          what the gate runs: vet + race-detector tests
+#   make check       tbcheck over the examples + seeded-broken corpus
+#   make ci          what the gate runs: vet + check + race-detector tests
 #   make tables      regenerate the paper tables (tbbench)
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet ci fuzz bench examples tables verify clean
+.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean
 
 all: build test
 
@@ -25,9 +26,24 @@ test-short:
 vet:
 	$(GO) vet ./...
 
-# The CI gate: static analysis plus the race-detector pass (which
-# subsumes plain `go test`); keep this green before merging.
-ci: vet test-race
+# Instrumentation-invariant verification: every example program must
+# instrument to a module tbcheck finds clean, and every seeded-broken
+# module in the verifier's corpus must be flagged (-broken inverts the
+# exit status, so a silently-passing verifier fails the gate).
+check:
+	$(GO) run ./cmd/tbcheck examples/*/*.mc
+	$(GO) run ./cmd/tbcheck -broken internal/verify/testdata/corpus/ambiguous-encoding.tbm \
+		internal/verify/testdata/corpus/clobbering-probe.tbm \
+		internal/verify/testdata/corpus/dangling-dag-edge.tbm \
+		internal/verify/testdata/corpus/misaligned-map-block.tbm \
+		internal/verify/testdata/corpus/missing-bit.tbm \
+		internal/verify/testdata/corpus/missing-probe.tbm
+	$(GO) run ./cmd/tbcheck internal/verify/testdata/corpus/clean.tbm
+
+# The CI gate: static analysis, instrumentation verification, and the
+# race-detector pass (which subsumes plain `go test`); keep this green
+# before merging.
+ci: vet check test-race
 
 # Race-detector pass over everything, including the pipeline-vs-oracle
 # stress test (jobs 1/4/16 against one shared MapCache).
@@ -40,6 +56,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceRecordDecode -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSnapReader -fuzztime $(FUZZTIME) ./internal/snap
+	$(GO) test -run '^$$' -fuzz FuzzMapFileVerify -fuzztime $(FUZZTIME) ./internal/verify
 
 # One benchmark per paper table/figure; results land in bench_output.txt.
 bench:

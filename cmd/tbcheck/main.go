@@ -1,0 +1,212 @@
+// tbcheck statically verifies instrumentation invariants: probe
+// coverage, probe safety, module/mapfile consistency, and trace-record
+// decodability (the internal/verify pass suite). It accepts MiniC
+// source (.mc, compiled and instrumented in memory), instrumented
+// binary modules (.tbm, with the mapfile found alongside or given via
+// -map), or bare mapfiles (.map.json, structural validation only).
+//
+//	tbcheck app.mc
+//	tbcheck -json build/app.tb.tbm
+//	tbcheck -map build/app.map.json build/app.tb.tbm
+//	tbcheck -broken internal/verify/testdata/corpus/*.tbm
+//
+// Exit status: 0 clean (or, with -broken, every input flagged), 1 at
+// least one error-level diagnostic (with -werror: or warning), 2 bad
+// usage or unreadable input. With -json, one JSON result object is
+// printed per input, one per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"traceback/internal/core"
+	"traceback/internal/minic"
+	"traceback/internal/module"
+	"traceback/internal/verify"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type config struct {
+	json     bool
+	werror   bool
+	broken   bool
+	passes   string
+	maxPaths int
+	mapPath  string
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tbcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.BoolVar(&cfg.json, "json", false, "emit one JSON result per input instead of text diagnostics")
+	fs.BoolVar(&cfg.werror, "werror", false, "treat warnings as errors for the exit status")
+	fs.BoolVar(&cfg.broken, "broken", false, "negative mode: every input must produce at least one error")
+	fs.StringVar(&cfg.passes, "passes", "", "comma-separated pass subset (default all): "+strings.Join(verify.AllPasses(), ","))
+	fs.IntVar(&cfg.maxPaths, "maxpaths", 0, "cap on per-DAG path enumeration (0 = default)")
+	fs.StringVar(&cfg.mapPath, "map", "", "explicit mapfile for a .tbm input (default: sibling <name>.map.json)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: tbcheck [flags] <input.mc|input.tbm|input.map.json> ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	if cfg.mapPath != "" && fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "tbcheck: -map applies to a single .tbm input")
+		return 2
+	}
+
+	opts := verify.Options{MaxPaths: cfg.maxPaths}
+	if cfg.passes != "" {
+		opts.Passes = strings.Split(cfg.passes, ",")
+		known := map[string]bool{}
+		for _, p := range verify.AllPasses() {
+			known[p] = true
+		}
+		for _, p := range opts.Passes {
+			if !known[p] {
+				fmt.Fprintf(stderr, "tbcheck: unknown pass %q\n", p)
+				return 2
+			}
+		}
+	}
+
+	status := 0
+	for _, in := range fs.Args() {
+		res, err := checkOne(in, cfg, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "tbcheck: %s: %v\n", in, err)
+			return 2
+		}
+		if cfg.json {
+			if err := res.WriteJSON(stdout); err != nil {
+				fmt.Fprintln(stderr, "tbcheck:", err)
+				return 2
+			}
+		} else {
+			res.WriteText(stdout)
+		}
+		failed := res.NumError > 0 || (cfg.werror && res.NumWarn > 0)
+		if cfg.broken {
+			if res.NumError == 0 {
+				fmt.Fprintf(stderr, "tbcheck: %s: expected error-level diagnostics, found none\n", in)
+				status = max(status, 1)
+			} else if !cfg.json {
+				fmt.Fprintf(stdout, "%s: flagged as expected (%d errors)\n", in, res.NumError)
+			}
+			continue
+		}
+		if failed {
+			status = max(status, 1)
+		} else if !cfg.json {
+			fmt.Fprintf(stdout, "%s: %s verified clean (%d warnings)\n", in, res.Module, res.NumWarn)
+		}
+	}
+	return status
+}
+
+// checkOne verifies a single input path.
+func checkOne(in string, cfg config, opts verify.Options) (*verify.Result, error) {
+	switch {
+	case strings.HasSuffix(in, ".map.json"):
+		return checkMapOnly(in)
+	case strings.HasSuffix(in, ".mc") || strings.HasSuffix(in, ".c"):
+		return checkSource(in, opts)
+	default:
+		return checkModule(in, cfg.mapPath, opts)
+	}
+}
+
+// checkSource compiles and instruments MiniC source in memory, then
+// verifies the instrumenter's own output.
+func checkSource(in string, opts verify.Options) (*verify.Result, error) {
+	src, err := os.ReadFile(in)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(strings.TrimSuffix(filepath.Base(in), ".mc"), ".c")
+	mod, err := minic.Compile(name, filepath.Base(in), string(src))
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return verify.Verify(res.Module, res.Map, opts), nil
+}
+
+// checkModule reads an instrumented .tbm and pairs it with a mapfile:
+// the -map flag, or a sibling <base>.map.json (with an optional .tb
+// infix, matching tbinstr's naming). A missing sibling degrades to
+// module-only verification.
+func checkModule(in, mapPath string, opts verify.Options) (*verify.Result, error) {
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	m, err := module.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if mapPath == "" {
+		base := strings.TrimSuffix(in, ".tbm")
+		base = strings.TrimSuffix(base, ".tb")
+		if _, err := os.Stat(base + ".map.json"); err == nil {
+			mapPath = base + ".map.json"
+		}
+	}
+	var mf *module.MapFile
+	if mapPath != "" {
+		f, err := os.Open(mapPath)
+		if err != nil {
+			return nil, err
+		}
+		mf, err = module.LoadMapFile(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return verify.Verify(m, mf, opts), nil
+}
+
+// checkMapOnly structurally validates a bare mapfile.
+func checkMapOnly(in string) (*verify.Result, error) {
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	mf, err := module.LoadMapFile(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	res := &verify.Result{Module: mf.ModuleName}
+	if err := mf.Validate(); err != nil {
+		res.Diags = append(res.Diags, verify.Diagnostic{
+			Pass: verify.PassStructure, Severity: verify.SevError, DAG: -1, Instr: -1,
+			Msg: fmt.Sprintf("mapfile invalid: %v", err)})
+		res.NumError = 1
+		return res, nil
+	}
+	res.Diags = append(res.Diags, verify.Diagnostic{
+		Pass: verify.PassStructure, Severity: verify.SevInfo, DAG: -1, Instr: -1,
+		Msg: "mapfile structurally valid (no module given: probe and consistency passes skipped)"})
+	res.NumInfo = 1
+	return res, nil
+}

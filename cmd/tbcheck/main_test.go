@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"traceback/internal/core"
+	"traceback/internal/minic"
+	"traceback/internal/verify/seed"
+)
+
+const appSrc = `int f(int x) {
+	if (x > 2) {
+		return x * 3;
+	}
+	return x + 1;
+}
+int main() {
+	print_int(f(getarg()));
+	exit(0);
+}`
+
+// writeFixture writes app.mc plus an instrumented app.tb.tbm and its
+// sibling app.map.json into a temp dir.
+func writeFixture(t *testing.T) (dir, mcPath, tbmPath, mapPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	mcPath = filepath.Join(dir, "app.mc")
+	if err := os.WriteFile(mcPath, []byte(appSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := minic.Compile("app", "app.mc", appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbmPath = filepath.Join(dir, "app.tb.tbm")
+	f, err := os.Create(tbmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Module.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	mapPath = filepath.Join(dir, "app.map.json")
+	f, err = os.Create(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Map.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return dir, mcPath, tbmPath, mapPath
+}
+
+func TestCheckSourceClean(t *testing.T) {
+	_, mc, _, _ := writeFixture(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{mc}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("verified clean")) {
+		t.Errorf("missing clean summary in: %s", out.String())
+	}
+}
+
+func TestCheckModuleWithSiblingMap(t *testing.T) {
+	_, _, tbm, _ := writeFixture(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{tbm}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	// The sibling map was found, so no "no mapfile" info diag should
+	// have been emitted.
+	if bytes.Contains(out.Bytes(), []byte("no mapfile")) {
+		t.Errorf("sibling mapfile not picked up: %s", out.String())
+	}
+}
+
+func TestCheckExplicitMapFlag(t *testing.T) {
+	_, _, tbm, mp := writeFixture(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-map", mp, tbm}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestCheckMapOnly(t *testing.T) {
+	_, _, _, mp := writeFixture(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{mp}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("structurally valid")) {
+		t.Errorf("map-only output: %s", out.String())
+	}
+}
+
+func TestCheckJSONOutput(t *testing.T) {
+	_, mc, _, _ := writeFixture(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", mc}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var res struct {
+		Module string `json:"module"`
+		Errors int    `json:"errors"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if res.Module != "app" || res.Errors != 0 {
+		t.Errorf("JSON result = %+v", res)
+	}
+}
+
+// TestCheckBrokenCorpus drives the CLI the way make check does: the
+// seeded-broken modules must all be flagged (-broken exit 0), and
+// without -broken the same inputs must fail.
+func TestCheckBrokenCorpus(t *testing.T) {
+	dir := t.TempDir()
+	cases, err := seed.Cases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var broken []string
+	for _, c := range cases {
+		if c.Pass == "" {
+			continue
+		}
+		tbm := filepath.Join(dir, c.Name+".tbm")
+		f, err := os.Create(tbm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Module.WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		mf, err := os.Create(filepath.Join(dir, c.Name+".map.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Map.Save(mf); err != nil {
+			t.Fatal(err)
+		}
+		mf.Close()
+		broken = append(broken, tbm)
+	}
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"-broken"}, broken...), &out, &errb); code != 0 {
+		t.Fatalf("-broken over seeded corpus: exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(broken, &out, &errb); code != 1 {
+		t.Fatalf("broken modules without -broken: exit %d, want 1", code)
+	}
+}
+
+func TestCheckUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-passes", "nosuch", "x.mc"}, &out, &errb); code != 2 {
+		t.Errorf("unknown pass: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/zz.mc"}, &out, &errb); code != 2 {
+		t.Errorf("unreadable input: exit %d, want 2", code)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"traceback/internal/core"
 	"traceback/internal/minic"
 	"traceback/internal/module"
+	"traceback/internal/verify"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		noBreak   = flag.Bool("nobreakatcalls", false, "ablation: omit call-return probes (UNSOUND reconstruction)")
 		baseFile  = flag.String("basefile", "", "DAG base file (JSON) assigning bases by module name")
 		emitPlain = flag.Bool("emit-module", false, "with .mc input: also write the uninstrumented module")
+		doVerify  = flag.Bool("verify", true, "statically verify the instrumented output; refuse to write on errors")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -83,6 +85,19 @@ func main() {
 	res, err := core.Instrument(mod, opts)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *doVerify {
+		vres := verify.Verify(res.Module, res.Map, verify.Options{})
+		for _, d := range vres.Diags {
+			if d.Severity != verify.SevInfo {
+				fmt.Fprintln(os.Stderr, "tbinstr:", d)
+			}
+		}
+		if !vres.Ok() {
+			fatal(fmt.Errorf("%s failed static verification (%d errors); refusing to write (use -verify=false to override)",
+				mod.Name, vres.NumError))
+		}
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -22,6 +22,7 @@ import (
 	"traceback/internal/snap"
 	"traceback/internal/tbrt"
 	"traceback/internal/telemetry"
+	"traceback/internal/verify"
 	"traceback/internal/vm"
 )
 
@@ -96,6 +97,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	vmetrics := verify.NewMetrics(reg)
+	rec := reg.FlightRecorder()
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
@@ -112,6 +115,24 @@ func main() {
 		tag := "uninstrumented"
 		if mod.Instrumented {
 			tag = fmt.Sprintf("%d DAGs", mod.DAGCount)
+			// Verification provenance: the trace this run produces is
+			// only as trustworthy as the module's probes, so record
+			// whether they check out (module-only: no mapfile at run
+			// time).
+			vres := verify.Verify(mod, nil, verify.Options{})
+			vmetrics.Observe(vres)
+			if vres.Ok() {
+				tag += ", verified"
+				rec.Record(0, "module-verified", mod.Name)
+			} else {
+				tag += fmt.Sprintf(", VERIFY FAILED: %d errors", vres.NumError)
+				rec.Record(0, "module-verify-failed", mod.Name)
+				for _, d := range vres.Diags {
+					if d.Severity == verify.SevError {
+						fmt.Fprintln(os.Stderr, "tbrun:", d)
+					}
+				}
+			}
 		}
 		fmt.Printf("loaded %s (%s)\n", mod.Name, tag)
 	}

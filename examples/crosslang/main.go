@@ -14,6 +14,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"os"
@@ -27,12 +28,6 @@ import (
 	"traceback/internal/vm"
 )
 
-const nativeSrc = `int copy_string(int src, int n) {
-	int result[1];
-	memcpy(&result, src, n);
-	return result[0];
-}`
-
 // The managed side declares the native method extern and calls it —
 // the comment in the paper's figure says it all.
 const managedSrcTemplate = `extern "NativeString.c" int copy_string(int src, int n);
@@ -41,6 +36,9 @@ int main(int straddr) {
 	copy_string(straddr, n);
 	return 0;
 }`
+
+//go:embed NativeString.mc
+var nativeSrc string
 
 func main() {
 	// Native side: compile + instrument.

@@ -16,6 +16,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"os"
@@ -31,75 +32,12 @@ import (
 
 // strlib.c: the msvcr70d.dll analog — a separately built library
 // module the server links against.
-const strlibSrc = `int wcscpy(int dst, int src, int n) {
-	for (int i = 0; i < n; i = i + 1) {
-		poke(dst + i * 8, peek(src + i * 8));
-	}
-	return dst;
-}`
 
 // server.c: the pet-store COM server.
-const serverSrc = `extern "strlib" int wcscpy(int dst, int src, int n);
-int pet_name;
-int fault_flag;
-int on_segv(int sig) {
-	fault_flag = 1;
-	return 0;
-}
-int set_pet_name(int req, int n) {
-	wcscpy(pet_name, req, n);
-	return 0;
-}
-int get_pet_name(int resp) {
-	if (pet_name != 0) {
-		wcscpy(resp, pet_name, 4);
-	}
-	return 0;
-}
-int main() {
-	signal(11, &on_segv);
-	int buf = alloc(512);
-	int out = alloc(512);
-	for (int r = 0; r < 2; r = r + 1) {
-		int n = rpc_recv(9, buf, 512);
-		int kind = peek(buf);
-		fault_flag = 0;
-		if (kind == 1) {
-			set_pet_name(buf + 8, (n - 8) / 8);
-		} else {
-			get_pet_name(out);
-		}
-		if (fault_flag == 1) {
-			rpc_reply(9, 1, out, 0);
-		} else {
-			rpc_reply(9, 0, out, 32);
-		}
-	}
-	exit(0);
-}`
 
 // client.c: sets the name, ignores the returned HRESULT, reads it
 // back — the Figure 6 bug. The COM proxy stubs are real functions,
 // so the RPC boundary breaks DAGs exactly as a marshaled call would.
-const clientSrc = `int proxy_set_pet_name(int req, int resp) {
-	poke(req, 1);
-	poke(req + 8, 76);
-	poke(req + 16, 97);
-	poke(req + 24, 98);
-	return rpc_call(9, req, 32, resp);
-}
-int proxy_get_pet_name(int req, int resp) {
-	poke(req, 2);
-	return rpc_call(9, req, 8, resp);
-}
-int main() {
-	int req = alloc(512);
-	int resp = alloc(512);
-	int hr = proxy_set_pet_name(req, resp);
-	hr = proxy_get_pet_name(req, resp);
-	print("GetPetName returned\n");
-	exit(0);
-}`
 
 func build(name, file, src string) (*module.Module, *core.Result) {
 	mod, err := minic.Compile(name, file, src)
@@ -112,6 +50,15 @@ func build(name, file, src string) (*module.Module, *core.Result) {
 	}
 	return mod, res
 }
+
+//go:embed strlib.mc
+var strlibSrc string
+
+//go:embed server.mc
+var serverSrc string
+
+//go:embed client.mc
+var clientSrc string
 
 func main() {
 	_, strlibRes := build("strlib", "strlib.c", strlibSrc)

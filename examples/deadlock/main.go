@@ -9,6 +9,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"os"
@@ -22,37 +23,8 @@ import (
 	"traceback/internal/vm"
 )
 
-const appSrc = `int lock_accounts;
-int lock_audit;
-int balance;
-int audit_rows;
-int transfer() {
-	mutex_lock(&lock_accounts);
-	balance = balance + 100;
-	sleep(2000);
-	mutex_lock(&lock_audit);
-	audit_rows = audit_rows + 1;
-	mutex_unlock(&lock_audit);
-	mutex_unlock(&lock_accounts);
-	return 0;
-}
-int audit() {
-	mutex_lock(&lock_audit);
-	audit_rows = audit_rows + 1;
-	sleep(2000);
-	mutex_lock(&lock_accounts);
-	balance = balance - 1;
-	mutex_unlock(&lock_accounts);
-	mutex_unlock(&lock_audit);
-	return 0;
-}
-int main() {
-	int t1 = thread_create(&transfer, 0);
-	int t2 = thread_create(&audit, 0);
-	join(t1);
-	join(t2);
-	exit(0);
-}`
+//go:embed bank.mc
+var appSrc string
 
 func main() {
 	mod, err := minic.Compile("bank", "bank.mc", appSrc)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"os"
@@ -22,28 +23,8 @@ import (
 	"traceback/internal/vm"
 )
 
-const appSrc = `int denom;
-int config[4];
-int load_config(int mode) {
-	config[0] = 10;
-	config[1] = mode;
-	if (mode == 1) {
-		denom = 0;
-	} else {
-		denom = config[0];
-	}
-	return 0;
-}
-int average(int total) {
-	int result = total / denom;
-	return result;
-}
-int main() {
-	load_config(getarg());
-	int avg = average(1200);
-	print_int(avg);
-	exit(0);
-}`
+//go:embed app.mc
+var appSrc string
 
 func main() {
 	// 1. Compile the application (the stand-in for a production

@@ -80,6 +80,64 @@ func (g *Graph) BlockContaining(idx uint32) (*Block, bool) {
 	return b, true
 }
 
+// BuildErrKind classifies why Build rejected a function, so callers
+// (notably the static verifier in internal/verify) can map structural
+// failures to specific diagnoses instead of string-matching.
+type BuildErrKind uint8
+
+const (
+	// ErrBadFuncRange: the function's [Entry, End) range is empty or
+	// escapes the module's code section.
+	ErrBadFuncRange BuildErrKind = iota + 1
+	// ErrEscapingBranch: a branch targets an index outside the function.
+	ErrEscapingBranch
+	// ErrEscapingCall: a call targets an index outside the module.
+	ErrEscapingCall
+	// ErrBadJumpTable: a JTAB's slot list is empty, overruns the
+	// function, or holds a non-JMP instruction.
+	ErrBadJumpTable
+	// ErrFallthroughEnd: control falls through the function's last
+	// instruction into a nonexistent block (no RET/JMP/HLT/exit
+	// terminator).
+	ErrFallthroughEnd
+	// ErrBadEdge: an intra-function edge lands on a non-leader index
+	// (internal inconsistency; should be unreachable).
+	ErrBadEdge
+)
+
+func (k BuildErrKind) String() string {
+	switch k {
+	case ErrBadFuncRange:
+		return "bad-func-range"
+	case ErrEscapingBranch:
+		return "escaping-branch"
+	case ErrEscapingCall:
+		return "escaping-call"
+	case ErrBadJumpTable:
+		return "bad-jump-table"
+	case ErrFallthroughEnd:
+		return "fallthrough-off-end"
+	case ErrBadEdge:
+		return "bad-edge"
+	}
+	return fmt.Sprintf("builderr(%d)", uint8(k))
+}
+
+// BuildError is the typed error Build returns. Instr is the
+// module-relative index of the offending instruction.
+type BuildError struct {
+	Fn    string
+	Kind  BuildErrKind
+	Instr uint32
+	msg   string
+}
+
+func (e *BuildError) Error() string { return e.msg }
+
+func buildErr(fn module.Func, kind BuildErrKind, instr uint32, format string, args ...any) error {
+	return &BuildError{Fn: fn.Name, Kind: kind, Instr: instr, msg: fmt.Sprintf(format, args...)}
+}
+
 // Build constructs the CFG for fn over code.
 //
 // Control may leave the function only through RET, HLT, or a raised
@@ -88,9 +146,12 @@ func (g *Graph) BlockContaining(idx uint32) (*Block, bool) {
 // continues the block sequence as the call block's successor, and the
 // block is annotated so instrumentation can treat the return point as
 // a fresh entry.
+//
+// All rejections are *BuildError values classified by BuildErrKind.
 func Build(code []isa.Instr, fn module.Func) (*Graph, error) {
 	if fn.Entry >= fn.End || fn.End > uint32(len(code)) {
-		return nil, fmt.Errorf("cfg: function %s range [%d,%d) invalid", fn.Name, fn.Entry, fn.End)
+		return nil, buildErr(fn, ErrBadFuncRange, fn.Entry,
+			"cfg: function %s range [%d,%d) invalid", fn.Name, fn.Entry, fn.End)
 	}
 
 	// Pass 1: find leaders.
@@ -105,24 +166,28 @@ func Build(code []isa.Instr, fn module.Func) (*Graph, error) {
 			// targets name other functions and do not create leaders.
 			t := uint32(in.Imm)
 			if t < fn.Entry || t >= fn.End {
-				return nil, fmt.Errorf("cfg: %s: instruction %d (%v) targets %d outside function [%d,%d)",
+				return nil, buildErr(fn, ErrEscapingBranch, i,
+					"cfg: %s: instruction %d (%v) targets %d outside function [%d,%d)",
 					fn.Name, i, in, t, fn.Entry, fn.End)
 			}
 			leader[t] = true
 		}
 		if op == isa.CALL {
 			if t := uint32(in.Imm); t >= uint32(len(code)) {
-				return nil, fmt.Errorf("cfg: %s: call at %d targets %d outside module", fn.Name, i, t)
+				return nil, buildErr(fn, ErrEscapingCall, i,
+					"cfg: %s: call at %d targets %d outside module", fn.Name, i, t)
 			}
 		}
 		if op == isa.JTAB {
 			n := uint32(in.C)
 			if n == 0 || i+1+n > fn.End {
-				return nil, fmt.Errorf("cfg: %s: jump table at %d with %d slots overruns function", fn.Name, i, n)
+				return nil, buildErr(fn, ErrBadJumpTable, i,
+					"cfg: %s: jump table at %d with %d slots overruns function", fn.Name, i, n)
 			}
 			for s := uint32(1); s <= n; s++ {
 				if code[i+s].Op != isa.JMP {
-					return nil, fmt.Errorf("cfg: %s: jump-table slot at %d is %v, want jmp", fn.Name, i+s, code[i+s].Op)
+					return nil, buildErr(fn, ErrBadJumpTable, i+s,
+						"cfg: %s: jump-table slot at %d is %v, want jmp", fn.Name, i+s, code[i+s].Op)
 				}
 				leader[i+s] = true
 				slots[i+s] = true
@@ -156,7 +221,8 @@ func Build(code []isa.Instr, fn module.Func) (*Graph, error) {
 	addEdge := func(from *Block, to uint32) error {
 		id, ok := g.byStart[to]
 		if !ok {
-			return fmt.Errorf("cfg: %s: edge from block %d to non-leader %d", fn.Name, from.ID, to)
+			return buildErr(fn, ErrBadEdge, from.End-1,
+				"cfg: %s: edge from block %d to non-leader %d", fn.Name, from.ID, to)
 		}
 		from.Succs = append(from.Succs, id)
 		g.Blocks[id].Preds = append(g.Blocks[id].Preds, from.ID)
@@ -174,7 +240,8 @@ func Build(code []isa.Instr, fn module.Func) (*Graph, error) {
 					return nil, err
 				}
 			} else {
-				return nil, fmt.Errorf("cfg: %s: conditional branch falls off function end", fn.Name)
+				return nil, buildErr(fn, ErrFallthroughEnd, b.End-1,
+					"cfg: %s: conditional branch falls off function end", fn.Name)
 			}
 		case last.Op == isa.JMP:
 			if err := addEdge(b, uint32(last.Imm)); err != nil {
@@ -216,7 +283,8 @@ func Build(code []isa.Instr, fn module.Func) (*Graph, error) {
 					return nil, err
 				}
 			} else {
-				return nil, fmt.Errorf("cfg: %s: control falls off function end", fn.Name)
+				return nil, buildErr(fn, ErrFallthroughEnd, b.End-1,
+					"cfg: %s: control falls off function end", fn.Name)
 			}
 		}
 	}
@@ -253,12 +321,15 @@ func init() {
 	}
 }
 
-// instrEffect returns (uses, defs) for one instruction, with calls
+// InstrEffect returns (uses, defs) for one instruction, with calls
 // treated conservatively: a call reads the argument registers and SP
 // and clobbers every caller-saved register; RET reads the return
 // value, SP, and all callee-saved registers (the caller expects them
-// restored).
-func instrEffect(in isa.Instr) (uses, defs RegSet) {
+// restored). It is the default effect function for Liveness; analyses
+// that know more about specific call targets (the probe-safety
+// verifier models the instrumentation helper's exact footprint) pass
+// their own effect to LivenessFunc.
+func InstrEffect(in isa.Instr) (uses, defs RegSet) {
 	var tmp [6]uint8
 	for _, r := range in.Reads(tmp[:0]) {
 		uses = uses.Add(r)
@@ -287,6 +358,14 @@ func instrEffect(in isa.Instr) (uses, defs RegSet) {
 // dead register exists the probe must spill (the paper's gzip
 // longest_match case).
 func (g *Graph) Liveness() (liveIn, liveOut []RegSet) {
+	return g.LivenessFunc(InstrEffect)
+}
+
+// LivenessFunc is Liveness with a caller-supplied per-instruction
+// effect function, letting analyses refine the conservative call
+// model (e.g. treat a CALL to the probe helper as clobbering only the
+// registers the helper actually writes).
+func (g *Graph) LivenessFunc(effect func(isa.Instr) (uses, defs RegSet)) (liveIn, liveOut []RegSet) {
 	n := len(g.Blocks)
 	liveIn = make([]RegSet, n)
 	liveOut = make([]RegSet, n)
@@ -294,7 +373,7 @@ func (g *Graph) Liveness() (liveIn, liveOut []RegSet) {
 	def := make([]RegSet, n)
 	for i, b := range g.Blocks {
 		for idx := b.Start; idx < b.End; idx++ {
-			u, d := instrEffect(g.Code[idx])
+			u, d := effect(g.Code[idx])
 			use[i] |= u &^ def[i]
 			def[i] |= d
 		}

@@ -1,11 +1,25 @@
 package cfg
 
 import (
+	"errors"
 	"testing"
 
 	"traceback/internal/isa"
 	"traceback/internal/module"
 )
+
+// wantBuildErr asserts err is a *BuildError of the given kind.
+func wantBuildErr(t *testing.T, err error, kind BuildErrKind) *BuildError {
+	t.Helper()
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %T (%v), want *BuildError", err, err)
+	}
+	if be.Kind != kind {
+		t.Fatalf("kind = %v, want %v (err: %v)", be.Kind, kind, err)
+	}
+	return be
+}
 
 func fn(name string, n int) module.Func {
 	return module.Func{Name: name, Entry: 0, End: uint32(n)}
@@ -144,16 +158,67 @@ func TestBuildRejectsEscapingBranch(t *testing.T) {
 		{Op: isa.JMP, Imm: 5},
 		{Op: isa.RET},
 	}
-	if _, err := Build(code, fn("bad", 2)); err == nil {
+	_, err := Build(code, fn("bad", 2))
+	if err == nil {
 		t.Fatal("branch outside function accepted")
+	}
+	be := wantBuildErr(t, err, ErrEscapingBranch)
+	if be.Fn != "bad" || be.Instr != 0 {
+		t.Errorf("BuildError = %+v, want Fn=bad Instr=0", be)
 	}
 }
 
 func TestBuildRejectsFallOffEnd(t *testing.T) {
 	code := []isa.Instr{{Op: isa.MOVI, A: 1, Imm: 1}}
-	if _, err := Build(code, fn("bad", 1)); err == nil {
+	_, err := Build(code, fn("bad", 1))
+	if err == nil {
 		t.Fatal("fallthrough off function end accepted")
 	}
+	wantBuildErr(t, err, ErrFallthroughEnd)
+}
+
+func TestBuildRejectsCondFallOffEnd(t *testing.T) {
+	// A conditional branch as the last instruction has a fallthrough
+	// successor that does not exist.
+	code := []isa.Instr{
+		{Op: isa.MOVI, A: 1, Imm: 1},
+		{Op: isa.BEQ, A: 1, B: 2, Imm: 0},
+	}
+	_, err := Build(code, fn("bad", len(code)))
+	if err == nil {
+		t.Fatal("conditional fallthrough off function end accepted")
+	}
+	be := wantBuildErr(t, err, ErrFallthroughEnd)
+	if be.Instr != 1 {
+		t.Errorf("Instr = %d, want 1 (the branch)", be.Instr)
+	}
+}
+
+func TestBuildRejectsBadFuncRange(t *testing.T) {
+	code := diamond()
+	for _, f := range []module.Func{
+		{Name: "empty", Entry: 2, End: 2},
+		{Name: "inverted", Entry: 3, End: 1},
+		{Name: "overrun", Entry: 0, End: uint32(len(code)) + 4},
+	} {
+		_, err := Build(code, f)
+		if err == nil {
+			t.Fatalf("%s range accepted", f.Name)
+		}
+		wantBuildErr(t, err, ErrBadFuncRange)
+	}
+}
+
+func TestBuildRejectsEscapingCall(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.CALL, Imm: 99},
+		{Op: isa.RET},
+	}
+	_, err := Build(code, fn("bad", len(code)))
+	if err == nil {
+		t.Fatal("call outside module accepted")
+	}
+	wantBuildErr(t, err, ErrEscapingCall)
 }
 
 func TestBuildRejectsBadJumpTable(t *testing.T) {
@@ -163,8 +228,13 @@ func TestBuildRejectsBadJumpTable(t *testing.T) {
 		{Op: isa.NOP}, // slot must be a jmp
 		{Op: isa.RET},
 	}
-	if _, err := Build(code, fn("bad", len(code))); err == nil {
+	_, err := Build(code, fn("bad", len(code)))
+	if err == nil {
 		t.Fatal("malformed jump table accepted")
+	}
+	be := wantBuildErr(t, err, ErrBadJumpTable)
+	if be.Instr != 2 {
+		t.Errorf("Instr = %d, want 2 (the non-jmp slot)", be.Instr)
 	}
 }
 

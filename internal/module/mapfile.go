@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"traceback/internal/trace"
 )
 
 // CallKind classifies the call ending a mapfile block.
@@ -101,13 +103,28 @@ func (mf *MapFile) DAGByID(id uint32) (*MapDAG, bool) {
 	return nil, false
 }
 
-// Validate checks mapfile invariants.
+// Validate checks mapfile invariants: DAGCount matches the DAG list,
+// DAG IDs are unique and in-range for the module, path bits fit the
+// record format and are unique per DAG, successor references resolve
+// to real blocks without self edges or duplicates, and line spans stay
+// inside their block's instruction range. Deeper semantic checks (map
+// edges vs the real CFG, probe placement) belong to internal/verify.
 func (mf *MapFile) Validate() error {
 	if uint32(len(mf.DAGs)) != mf.DAGCount {
 		return fmt.Errorf("mapfile %s: %d DAGs but DAGCount=%d",
 			mf.ModuleName, len(mf.DAGs), mf.DAGCount)
 	}
+	byID := make(map[uint32]int, len(mf.DAGs))
 	for i, d := range mf.DAGs {
+		if d.ID >= mf.DAGCount {
+			return fmt.Errorf("mapfile %s: DAG %d has ID %d out of range [0,%d)",
+				mf.ModuleName, i, d.ID, mf.DAGCount)
+		}
+		if prev, dup := byID[d.ID]; dup {
+			return fmt.Errorf("mapfile %s: DAGs %d and %d share ID %d",
+				mf.ModuleName, prev, i, d.ID)
+		}
+		byID[d.ID] = i
 		if len(d.Blocks) == 0 {
 			return fmt.Errorf("mapfile %s: DAG %d has no blocks", mf.ModuleName, i)
 		}
@@ -117,6 +134,10 @@ func (mf *MapFile) Validate() error {
 				return fmt.Errorf("mapfile %s: DAG %d block %d empty range [%d,%d)",
 					mf.ModuleName, i, bi, b.Start, b.End)
 			}
+			if b.Bit >= trace.NumPathBits {
+				return fmt.Errorf("mapfile %s: DAG %d block %d bit %d exceeds record capacity (%d path bits)",
+					mf.ModuleName, i, bi, b.Bit, trace.NumPathBits)
+			}
 			if b.Bit >= 0 {
 				if prev, dup := seen[b.Bit]; dup {
 					return fmt.Errorf("mapfile %s: DAG %d: blocks %d and %d share bit %d",
@@ -124,10 +145,26 @@ func (mf *MapFile) Validate() error {
 				}
 				seen[b.Bit] = bi
 			}
+			succSeen := map[int]bool{}
 			for _, s := range b.Succs {
 				if s < 0 || s >= len(d.Blocks) {
 					return fmt.Errorf("mapfile %s: DAG %d block %d bad successor %d",
 						mf.ModuleName, i, bi, s)
+				}
+				if s == bi {
+					return fmt.Errorf("mapfile %s: DAG %d block %d lists itself as successor",
+						mf.ModuleName, i, bi)
+				}
+				if succSeen[s] {
+					return fmt.Errorf("mapfile %s: DAG %d block %d lists successor %d twice",
+						mf.ModuleName, i, bi, s)
+				}
+				succSeen[s] = true
+			}
+			for si, sp := range b.Lines {
+				if sp.Start >= sp.End || sp.Start < b.Start || sp.End > b.End {
+					return fmt.Errorf("mapfile %s: DAG %d block %d line span %d [%d,%d) outside block [%d,%d)",
+						mf.ModuleName, i, bi, si, sp.Start, sp.End, b.Start, b.End)
 				}
 			}
 		}

@@ -226,6 +226,78 @@ func TestMapFileValidateRejectsBadSuccessor(t *testing.T) {
 	}
 }
 
+// validMap builds a minimal mapfile that passes Validate, for the
+// rejection tests to mutate.
+func validMap() *MapFile {
+	return &MapFile{
+		ModuleName: "x", DAGCount: 2,
+		DAGs: []MapDAG{
+			{ID: 0, Blocks: []MapBlock{
+				{Start: 0, End: 2, Bit: -1, Succs: []int{1}},
+				{Start: 2, End: 4, Bit: 0},
+			}},
+			{ID: 1, Blocks: []MapBlock{
+				{Start: 4, End: 6, Bit: -1},
+			}},
+		},
+	}
+}
+
+func TestMapFileValidateRejectsDuplicateDAGIDs(t *testing.T) {
+	mf := validMap()
+	if err := mf.Validate(); err != nil {
+		t.Fatalf("base map invalid: %v", err)
+	}
+	mf.DAGs[1].ID = 0
+	if err := mf.Validate(); err == nil {
+		t.Error("duplicate DAG IDs passed validation")
+	}
+}
+
+func TestMapFileValidateRejectsOutOfRangeDAGID(t *testing.T) {
+	mf := validMap()
+	mf.DAGs[1].ID = 7 // >= DAGCount
+	if err := mf.Validate(); err == nil {
+		t.Error("DAG ID beyond DAGCount passed validation")
+	}
+}
+
+func TestMapFileValidateRejectsSelfSuccessor(t *testing.T) {
+	mf := validMap()
+	mf.DAGs[0].Blocks[1].Succs = []int{1}
+	if err := mf.Validate(); err == nil {
+		t.Error("self-edge successor passed validation")
+	}
+}
+
+func TestMapFileValidateRejectsDuplicateSuccessor(t *testing.T) {
+	mf := validMap()
+	mf.DAGs[0].Blocks[0].Succs = []int{1, 1}
+	if err := mf.Validate(); err == nil {
+		t.Error("duplicate successor passed validation")
+	}
+}
+
+func TestMapFileValidateRejectsOversizedBit(t *testing.T) {
+	mf := validMap()
+	mf.DAGs[0].Blocks[1].Bit = 10 // == trace.NumPathBits, one past the last slot
+	if err := mf.Validate(); err == nil {
+		t.Error("bit beyond the record's path-bit capacity passed validation")
+	}
+}
+
+func TestMapFileValidateRejectsEscapingLineSpan(t *testing.T) {
+	mf := validMap()
+	mf.DAGs[0].Blocks[0].Lines = []LineSpan{{File: "a.mc", Line: 1, Start: 1, End: 3}}
+	if err := mf.Validate(); err == nil {
+		t.Error("line span extending past its block passed validation")
+	}
+	mf.DAGs[0].Blocks[0].Lines = []LineSpan{{File: "a.mc", Line: 1, Start: 1, End: 1}}
+	if err := mf.Validate(); err == nil {
+		t.Error("empty line span passed validation")
+	}
+}
+
 func TestDAGBaseFileRoundTrip(t *testing.T) {
 	d := &DAGBaseFile{Bases: map[string]uint32{"app": 0, "lib": 4096}}
 	var buf bytes.Buffer

@@ -12,6 +12,7 @@ import (
 	"traceback/internal/snap"
 	"traceback/internal/tbrt"
 	"traceback/internal/telemetry"
+	"traceback/internal/verify"
 	"traceback/internal/vm"
 )
 
@@ -35,6 +36,7 @@ type Service struct {
 	// heartbeat misses.
 	reg        *telemetry.Registry
 	rec        *telemetry.Recorder
+	verify     *verify.Metrics
 	heartbeats *telemetry.Counter
 	hangs      *telemetry.Counter
 	externals  *telemetry.Counter
@@ -62,6 +64,20 @@ func (s *Service) bindTelemetry(reg *telemetry.Registry) {
 	s.hangs = reg.Counter("svc_hangs_total", "processes declared hung by heartbeat timeout")
 	s.externals = reg.Counter("svc_external_snaps_total", "external snaps triggered by name")
 	s.groupSnaps = reg.Counter("svc_group_snaps_total", "group-propagated snaps taken")
+	s.verify = verify.NewMetrics(reg)
+}
+
+// ObserveVerification records a module verification outcome in the
+// service's registry (verify_ counters) and flight recorder, so snaps
+// taken on this machine carry provenance for how trustworthy the
+// instrumentation feeding them is.
+func (s *Service) ObserveVerification(res *verify.Result) {
+	s.verify.Observe(res)
+	kind := "module-verified"
+	if !res.Ok() {
+		kind = "module-verify-failed"
+	}
+	s.rec.Record(s.machine.Clock(), kind, res.Module)
 }
 
 // Metrics returns the service's registry.

@@ -1,0 +1,202 @@
+package verify
+
+import (
+	"traceback/internal/cfg"
+	"traceback/internal/isa"
+	"traceback/internal/module"
+)
+
+// probeKind classifies a parsed probe sequence.
+type probeKind uint8
+
+const (
+	probeHeavy probeKind = iota + 1
+	probeLight
+)
+
+func (k probeKind) String() string {
+	if k == probeHeavy {
+		return "heavyweight"
+	}
+	return "lightweight"
+}
+
+// probeInfo is one parsed probe sequence at the head of a block.
+// start/end are module instruction indexes, [start, end).
+type probeInfo struct {
+	kind  probeKind
+	start uint32
+	end   uint32
+	save  bool  // PUSH/POP wrapped (live RV for heavy, spill for light)
+	reg   uint8 // RV for heavy; the scratch/spill register for light
+	word  uint32
+	mask  uint32 // light: the ORM4 immediate
+	sti   uint32 // heavy: index of the STI4
+	tls   uint32 // light: index of the TLSLD
+}
+
+// parseProbes scans every block head of fi for a probe sequence,
+// mirroring core's emit(): probes are injected before the original
+// block-start instruction, and branches enter through them, so a
+// probe can only legally sit at a block Start.
+//
+//	heavyweight:  [push r0]  call helper ; sti4 [r0], word  [pop r0]
+//	lightweight:  tlsld rS, tls[60] ; orm4 [rS], 1<<bit
+//	spill form:   push r5 ; tlsld r5 ; orm4 [r5] ; pop r5
+//
+// The parse is shape-driven (opcodes and register agreement); field
+// validity (TLS slot, mask width, live-register safety, fixups) is
+// judged by the safety and decodability passes so that a malformed
+// field is diagnosed precisely instead of failing the parse.
+func (ctx *context) parseProbes(fi *fnInfo) {
+	fi.probes = make(map[uint32]*probeInfo)
+	for _, b := range fi.g.Blocks {
+		if p, ok := ctx.parseProbeAt(b.Start, b.End, fi.fn.End); ok {
+			fi.probes[b.Start] = p
+		}
+	}
+}
+
+// parseProbeAt tries to parse one probe sequence at instruction index
+// i. blockEnd bounds the block the probe heads; a heavyweight probe's
+// helper CALL is itself a block terminator (the return point starts a
+// new block), so its STI4/POP tail legally continues past blockEnd and
+// is bounded by fnEnd instead.
+func (ctx *context) parseProbeAt(i, blockEnd, fnEnd uint32) (*probeInfo, bool) {
+	code := ctx.m.Code
+	j := i
+	save := false
+	var saveReg uint8
+	if j < blockEnd && code[j].Op == isa.PUSH {
+		save = true
+		saveReg = code[j].A
+		j++
+	}
+	if j >= blockEnd {
+		return nil, false
+	}
+	switch code[j].Op {
+	case isa.CALL:
+		if uint32(code[j].Imm) != ctx.helper.Entry {
+			return nil, false
+		}
+		if save && saveReg != isa.RV {
+			// push rX; call helper — not an emitted shape; the call
+			// will be caught as an unprobed helper call by coverage.
+			return nil, false
+		}
+		if j != blockEnd-1 {
+			// A mid-block helper call means block construction and the
+			// probe disagree; let the stray scan flag it.
+			return nil, false
+		}
+		j++
+		if j >= fnEnd || code[j].Op != isa.STI4 || code[j].A != isa.RV {
+			return nil, false
+		}
+		p := &probeInfo{kind: probeHeavy, start: i, save: save, reg: isa.RV,
+			sti: j, word: uint32(code[j].Imm)}
+		j++
+		if save {
+			if j >= fnEnd || code[j].Op != isa.POP || code[j].A != isa.RV {
+				return nil, false
+			}
+			j++
+		}
+		p.end = j
+		return p, true
+	case isa.TLSLD:
+		reg := code[j].A
+		if save && saveReg != reg {
+			return nil, false
+		}
+		p := &probeInfo{kind: probeLight, start: i, save: save, reg: reg, tls: j}
+		j++
+		if j >= blockEnd || code[j].Op != isa.ORM4 || code[j].A != reg {
+			return nil, false
+		}
+		p.mask = uint32(code[j].Imm)
+		j++
+		if save {
+			if j >= blockEnd || code[j].Op != isa.POP || code[j].A != reg {
+				return nil, false
+			}
+			j++
+		}
+		p.end = j
+		return p, true
+	}
+	return nil, false
+}
+
+// isProbeOp reports whether op is one of the opcodes only probes (and
+// the probe helper) may use in instrumented code. MiniC codegen never
+// emits them, so any occurrence outside a parsed probe or the helper
+// body is instrumentation damage.
+func isProbeOp(op isa.Op) bool {
+	switch op {
+	case isa.STI4, isa.ORM4, isa.TLSLD, isa.TLSST:
+		return true
+	}
+	return false
+}
+
+// isHelperCallBlock reports whether b ends in the direct call to the
+// probe helper — the split a heavyweight probe introduces into its own
+// block, not a real call site.
+func (ctx *context) isHelperCallBlock(b *cfg.Block) bool {
+	return b.EndsInCall && b.CallKind == module.CallDirect &&
+		ctx.hasHelper && uint32(b.CallImm) == ctx.helper.Entry
+}
+
+// regionFor resolves the instrumentation region starting at start: the
+// chain of CFG blocks a single pre-instrumentation block became. A
+// heavyweight probe's helper CALL terminates its block, so the region
+// is that block plus the fallthrough continuation holding the STI4
+// tail and the original code; otherwise it is one block. first heads
+// the region (and holds any probe); last carries the region's real
+// terminator and successor edges.
+func (ctx *context) regionFor(fi *fnInfo, start uint32) (first, last *cfg.Block, ok bool) {
+	first, ok = fi.g.BlockAt(start)
+	if !ok {
+		return nil, nil, false
+	}
+	last = first
+	for ctx.isHelperCallBlock(last) {
+		nxt, ok := fi.g.BlockAt(last.End)
+		if !ok {
+			break
+		}
+		last = nxt
+	}
+	return first, last, true
+}
+
+// isContinuation reports whether the block starting at start is the
+// tail half of a heavyweight probe's split (it starts strictly inside
+// a parsed probe span), rather than a region head.
+func (ctx *context) isContinuation(start uint32) bool {
+	p, ok := ctx.probeSpanContaining(start)
+	return ok && start != p.start
+}
+
+// inHelper reports whether instruction index idx is inside the probe
+// helper's range.
+func (ctx *context) inHelper(idx uint32) bool {
+	return ctx.hasHelper && idx >= ctx.helper.Entry && idx < ctx.helper.End
+}
+
+// probeSpanContaining returns the parsed probe whose [start, end)
+// span contains idx, searching the function that contains idx.
+func (ctx *context) probeSpanContaining(idx uint32) (*probeInfo, bool) {
+	fi, ok := ctx.funcContaining(idx)
+	if !ok {
+		return nil, false
+	}
+	for _, p := range fi.probes {
+		if idx >= p.start && idx < p.end {
+			return p, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"sort"
+
+	"traceback/internal/cfg"
+	"traceback/internal/isa"
+)
+
+// safety is the probe-safety pass: an injected probe must be
+// invisible to the program it instruments. It may not clobber a
+// register that is live at its resume point (the instruction after
+// the probe sequence), must address the trace buffer through the
+// reserved TLS slot, may never move the buffer pointer outside the
+// helper (TLSST), and every probe instruction the loader must rebase
+// has to appear in the fixup tables — a missing fixup means the
+// runtime rebases every probe but this one, corrupting the trace at
+// runtime with no static symptom elsewhere.
+func (ctx *context) safety() {
+	for _, fi := range ctx.funcs {
+		for _, start := range sortedProbeStarts(fi) {
+			ctx.probeSafety(fi, fi.probes[start])
+		}
+	}
+	ctx.tlsDiscipline()
+	ctx.fixupTotality()
+}
+
+// probeSafety checks one probe's register discipline against the
+// helper-aware liveness at its resume point.
+func (ctx *context) probeSafety(fi *fnInfo, p *probeInfo) {
+	live := ctx.liveAfterProbe(fi, p)
+	switch p.kind {
+	case probeHeavy:
+		if !p.save && live.Has(isa.RV) {
+			ctx.errorf(PassSafety, -1, int(p.start),
+				"heavyweight probe clobbers r0 (the helper's return register) while it is live at the resume point, without save/restore")
+		}
+	case probeLight:
+		if p.reg == isa.SP || p.reg == isa.FP {
+			ctx.errorf(PassSafety, -1, int(p.start),
+				"lightweight probe uses r%d (%s) as scratch", p.reg, regName(p.reg))
+			return
+		}
+		if !p.save && live.Has(p.reg) {
+			ctx.errorf(PassSafety, -1, int(p.start),
+				"lightweight probe scavenges r%d, which is live at the probe's resume point", p.reg)
+		}
+	}
+}
+
+// liveAfterProbe computes the registers live immediately after probe
+// p (its resume point): the live-out of the block holding the first
+// original instruction, propagated backward to p.end. A heavyweight
+// probe's tail lives in the continuation block its helper CALL split
+// off, so the block is found by containment, not by probe start. The
+// result equals the liveness the instrumenter consulted on the
+// original (probe-free) code, so the scavenging decision can be
+// re-judged exactly.
+func (ctx *context) liveAfterProbe(fi *fnInfo, p *probeInfo) cfg.RegSet {
+	b, ok := fi.g.BlockContaining(p.end)
+	if !ok {
+		return 0
+	}
+	live := fi.liveOut[b.ID]
+	for idx := b.End; idx > p.end; idx-- {
+		u, d := ctx.effect(ctx.m.Code[idx-1])
+		live = (live &^ d) | u
+	}
+	return live
+}
+
+// tlsDiscipline checks the TLS-slot contract: probe TLSLDs address
+// the reserved slot, and TLSST — which moves the per-thread buffer
+// pointer — appears only inside the helper.
+func (ctx *context) tlsDiscipline() {
+	for i, in := range ctx.m.Code {
+		idx := uint32(i)
+		if in.Op == isa.TLSST && !ctx.inHelper(idx) {
+			ctx.errorf(PassSafety, -1, i,
+				"TLSST outside the probe helper: only the helper may move the trace buffer pointer")
+		}
+		if (in.Op == isa.TLSLD || in.Op == isa.TLSST) && ctx.inHelper(idx) && in.C != isa.TLSSlot {
+			ctx.errorf(PassSafety, -1, i,
+				"helper TLS access uses slot %d, want the reserved slot %d", in.C, isa.TLSSlot)
+		}
+	}
+	for _, fi := range ctx.funcs {
+		for _, start := range sortedProbeStarts(fi) {
+			p := fi.probes[start]
+			if p.kind != probeLight {
+				continue
+			}
+			if c := ctx.m.Code[p.tls].C; c != isa.TLSSlot {
+				ctx.errorf(PassSafety, -1, int(p.tls),
+					"lightweight probe loads TLS slot %d, want the reserved slot %d", c, isa.TLSSlot)
+			}
+		}
+	}
+}
+
+// fixupTotality checks both directions of the fixup tables: every
+// probe instruction the loader must rebase (heavy STI4s for DAG IDs,
+// TLSLD/TLSST for the TLS index) is listed, and every listed index is
+// a real probe instruction.
+func (ctx *context) fixupTotality() {
+	heavySTI := map[uint32]bool{}
+	probeTLS := map[uint32]bool{}
+	for _, fi := range ctx.funcs {
+		for _, p := range fi.probes {
+			switch p.kind {
+			case probeHeavy:
+				heavySTI[p.sti] = true
+			case probeLight:
+				probeTLS[p.tls] = true
+			}
+		}
+	}
+	for i := ctx.helper.Entry; i < ctx.helper.End; i++ {
+		op := ctx.m.Code[i].Op
+		if op == isa.TLSLD || op == isa.TLSST {
+			probeTLS[i] = true
+		}
+	}
+
+	dagFix := map[uint32]bool{}
+	for _, fx := range ctx.m.DAGFixups {
+		dagFix[fx] = true
+	}
+	tlsFix := map[uint32]bool{}
+	for _, fx := range ctx.m.TLSFixups {
+		tlsFix[fx] = true
+	}
+
+	for _, idx := range sortedKeys(heavySTI) {
+		if !dagFix[idx] {
+			ctx.errorf(PassSafety, -1, int(idx),
+				"heavyweight probe STI4 missing from DAGFixups: load-time DAG rebasing would skip it")
+		}
+	}
+	for _, idx := range sortedKeys(dagFix) {
+		if !heavySTI[idx] {
+			ctx.errorf(PassSafety, -1, int(idx),
+				"DAG fixup points at an STI4 that is not part of a heavyweight probe")
+		}
+	}
+	for _, idx := range sortedKeys(probeTLS) {
+		if !tlsFix[idx] {
+			ctx.errorf(PassSafety, -1, int(idx),
+				"probe TLS access missing from TLSFixups: load-time TLS re-slotting would skip it")
+		}
+	}
+	for _, idx := range sortedKeys(tlsFix) {
+		if !probeTLS[idx] {
+			ctx.errorf(PassSafety, -1, int(idx),
+				"TLS fixup points at a TLS access that is not part of a probe or the helper")
+		}
+	}
+}
+
+func sortedKeys(set map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func regName(r uint8) string {
+	switch r {
+	case isa.SP:
+		return "stack pointer"
+	case isa.FP:
+		return "frame pointer"
+	case isa.RV:
+		return "return value"
+	}
+	return "general"
+}

@@ -1,0 +1,464 @@
+// Package verify statically checks the invariants that TraceBack
+// reconstruction assumes an instrumented module satisfies. The paper's
+// pitch — first-fault diagnosis from a single snap, no re-run —
+// silently collapses when instrumentation and mapfile disagree, so the
+// contract between internal/core (which emits probes) and
+// internal/recon (which decodes them) is proved here at instrument
+// time rather than discovered as garbage traces in production.
+//
+// The suite is a go/analysis-style pass runner over the repository's
+// own IR (module, cfg, trace — stdlib only). Passes:
+//
+//   - structure: module/mapfile structural validation, CFG
+//     construction (classifying typed cfg.BuildError kinds), probe
+//     parsing, reachability, and helper-aware liveness. All later
+//     passes consume its results.
+//   - probe-coverage: exactly one probe per control-flow block that
+//     needs one (DAG headers heavyweight, bit-carrying blocks
+//     lightweight), none in unreachable code or jump-table slots, and
+//     the mandatory header placements (function entry, call return
+//     points, multiway targets, one per cycle) hold.
+//   - probe-safety: probes never clobber a register that is live at
+//     the probe's resume point, scavenged scratch registers are dead,
+//     TLS-slot discipline holds (slot 60, TLSST only inside the
+//     helper) and the DAG/TLS fixup tables are total over the probe
+//     instructions, so load-time rebasing cannot miss one.
+//   - map-consistency: every MapDAG block corresponds to exactly one
+//     CFG block, DAG edges equal the in-DAG CFG successor edges, the
+//     DAG ID table is total, and the checksum/base/count header ties
+//     the mapfile to this exact module (the PR-1 "mapfile drift"
+//     class).
+//   - decodability: no two distinct block paths through a DAG emit
+//     the same record word — probe words are well-formed DAG records
+//     with in-range IDs (catching sentinel/bad-DAG collisions, the
+//     0x00/0x7F trailer-ambiguity class at the encoding level,
+//     including across buffer wrap points), path bits are single-bit
+//     and match the mapfile, and maximal path enumeration proves
+//     bitset injectivity.
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"traceback/internal/cfg"
+	"traceback/internal/core"
+	"traceback/internal/isa"
+	"traceback/internal/module"
+)
+
+// Severity grades a diagnostic. Error-level findings mean
+// reconstruction can produce wrong output; warnings mean degraded or
+// suspicious-but-decodable output; info is provenance.
+type Severity uint8
+
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name, so tbcheck's JSON output can
+// be consumed by other tooling round-trip.
+func (s *Severity) UnmarshalJSON(raw []byte) error {
+	var name string
+	if err := json.Unmarshal(raw, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarn
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("verify: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Pass names, usable in Options.Passes.
+const (
+	PassStructure = "structure"
+	PassCoverage  = "probe-coverage"
+	PassSafety    = "probe-safety"
+	PassMap       = "map-consistency"
+	PassEncoding  = "decodability"
+)
+
+// AllPasses lists every pass in execution order.
+func AllPasses() []string {
+	return []string{PassStructure, PassCoverage, PassSafety, PassMap, PassEncoding}
+}
+
+// Diagnostic is one finding. Instr and DAG are -1 when the finding is
+// not tied to an instruction or DAG; File/Line are the source position
+// of Instr when the module's line table covers it.
+type Diagnostic struct {
+	Pass     string   `json:"pass"`
+	Severity Severity `json:"severity"`
+	Func     string   `json:"func,omitempty"`
+	DAG      int      `json:"dag"`
+	Instr    int      `json:"instr"`
+	File     string   `json:"file,omitempty"`
+	Line     uint32   `json:"line,omitempty"`
+	Msg      string   `json:"msg"`
+}
+
+// String renders the diagnostic in file:line form.
+func (d Diagnostic) String() string {
+	pos := ""
+	if d.File != "" {
+		pos = fmt.Sprintf("%s:%d: ", d.File, d.Line)
+	}
+	loc := ""
+	if d.Func != "" {
+		loc = " (func " + d.Func
+		if d.Instr >= 0 {
+			loc += fmt.Sprintf(", instr %d", d.Instr)
+		}
+		loc += ")"
+	} else if d.Instr >= 0 {
+		loc = fmt.Sprintf(" (instr %d)", d.Instr)
+	}
+	return fmt.Sprintf("%s%s: [%s] %s%s", pos, d.Severity, d.Pass, d.Msg, loc)
+}
+
+// Result is the outcome of one Verify run.
+type Result struct {
+	Module   string       `json:"module"`
+	Diags    []Diagnostic `json:"diags"`
+	NumError int          `json:"errors"`
+	NumWarn  int          `json:"warnings"`
+	NumInfo  int          `json:"infos"`
+}
+
+func (r *Result) add(d Diagnostic) {
+	r.Diags = append(r.Diags, d)
+	switch d.Severity {
+	case SevError:
+		r.NumError++
+	case SevWarn:
+		r.NumWarn++
+	default:
+		r.NumInfo++
+	}
+}
+
+// Ok reports whether the run produced no error-level diagnostics.
+func (r *Result) Ok() bool { return r.NumError == 0 }
+
+// HasError reports whether the named pass produced an error.
+func (r *Result) HasError(pass string) bool {
+	for _, d := range r.Diags {
+		if d.Pass == pass && d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteText prints one diagnostic per line.
+func (r *Result) WriteText(w io.Writer) error {
+	for _, d := range r.Diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints the whole result as one JSON object.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// DefaultMaxPaths bounds the decodability pass's per-DAG maximal-path
+// enumeration. DAGs are small by construction (at most NumPathBits
+// probe-carrying blocks), so real modules stay far below this.
+const DefaultMaxPaths = 4096
+
+// Options tune a Verify run.
+type Options struct {
+	// MaxPaths caps the decodability pass's path enumeration per DAG;
+	// 0 means DefaultMaxPaths. Exceeding the cap degrades the pass to
+	// a warning, never a false error.
+	MaxPaths int
+	// Passes selects which passes run (structure always runs); nil
+	// means all.
+	Passes []string
+}
+
+func (o Options) enabled(pass string) bool {
+	if len(o.Passes) == 0 {
+		return true
+	}
+	for _, p := range o.Passes {
+		if p == pass {
+			return true
+		}
+	}
+	return false
+}
+
+// Verify runs the pass suite over an instrumented module and its
+// mapfile. mf may be nil: the map-consistency pass and the map-driven
+// halves of coverage/decodability are skipped (noted at info level).
+// Verify never panics on structurally valid inputs; malformed inputs
+// produce error diagnostics instead.
+func Verify(m *module.Module, mf *module.MapFile, opts Options) *Result {
+	if opts.MaxPaths <= 0 {
+		opts.MaxPaths = DefaultMaxPaths
+	}
+	res := &Result{Module: m.Name}
+	ctx := &context{m: m, mf: mf, opts: opts, res: res}
+	if !ctx.structure() {
+		return res
+	}
+	if mf != nil && mf.Managed {
+		// Bytecode instrumentation (paper §2.4): probes live in the
+		// managed VM's code stream, not in this module's native code,
+		// so the native-probe passes do not apply. Structural mapfile
+		// validation already ran.
+		ctx.report(Diagnostic{Pass: PassStructure, Severity: SevInfo, DAG: -1, Instr: -1,
+			Msg: "managed mapfile: native probe passes skipped"})
+		return res
+	}
+	if opts.enabled(PassCoverage) {
+		ctx.coverage()
+	}
+	if opts.enabled(PassSafety) {
+		ctx.safety()
+	}
+	if ctx.mf != nil && opts.enabled(PassMap) {
+		ctx.mapConsistency()
+	}
+	if opts.enabled(PassEncoding) {
+		ctx.encoding()
+	}
+	return res
+}
+
+// blockRef locates a mapfile block: DAG index (into mf.DAGs) and
+// block index within that DAG.
+type blockRef struct {
+	dag, idx int
+}
+
+// fnInfo is the per-function analysis state the passes share.
+type fnInfo struct {
+	fn    module.Func
+	g     *cfg.Graph
+	reach []bool // block ID -> reachable from function entry
+	// liveIn/liveOut use the helper-aware effect: a CALL to the probe
+	// helper clobbers only RV (+SP transiently), not the full
+	// caller-saved set, so probe safety is judged against what the
+	// helper really does.
+	liveIn, liveOut []cfg.RegSet
+	// probes maps block Start -> the probe parsed at that block's
+	// head (blocks without probes are absent).
+	probes map[uint32]*probeInfo
+}
+
+// context carries one Verify run.
+type context struct {
+	m    *module.Module
+	mf   *module.MapFile // nil when absent or structurally invalid
+	opts Options
+	res  *Result
+
+	helper    module.Func
+	hasHelper bool
+	effect    func(isa.Instr) (uses, defs cfg.RegSet)
+	funcs     []*fnInfo
+	// place maps an instrumented-code block Start to its mapfile
+	// location. Occupancy conflicts are diagnosed by map-consistency.
+	place map[uint32]blockRef
+}
+
+func (ctx *context) report(d Diagnostic) {
+	if d.Instr >= 0 {
+		idx := uint32(d.Instr)
+		if d.File == "" {
+			if file, line, ok := ctx.m.LineFor(idx); ok {
+				d.File, d.Line = file, line
+			}
+		}
+		if d.Func == "" {
+			if f, ok := ctx.m.FindFunc(idx); ok {
+				d.Func = f.Name
+			}
+		}
+	}
+	ctx.res.add(d)
+}
+
+func (ctx *context) errorf(pass string, dag, instr int, format string, a ...any) {
+	ctx.report(Diagnostic{Pass: pass, Severity: SevError, DAG: dag, Instr: instr,
+		Msg: fmt.Sprintf(format, a...)})
+}
+
+func (ctx *context) warnf(pass string, dag, instr int, format string, a ...any) {
+	ctx.report(Diagnostic{Pass: pass, Severity: SevWarn, DAG: dag, Instr: instr,
+		Msg: fmt.Sprintf(format, a...)})
+}
+
+func (ctx *context) infof(pass string, format string, a ...any) {
+	ctx.report(Diagnostic{Pass: pass, Severity: SevInfo, DAG: -1, Instr: -1,
+		Msg: fmt.Sprintf(format, a...)})
+}
+
+// structure validates the raw inputs and builds the shared analysis
+// state. It returns false when the module is too broken for any later
+// pass to say something meaningful.
+func (ctx *context) structure() bool {
+	m := ctx.m
+	if err := m.Validate(); err != nil {
+		ctx.errorf(PassStructure, -1, -1, "module invalid: %v", err)
+		return false
+	}
+	if !m.Instrumented {
+		ctx.errorf(PassStructure, -1, -1, "module is not instrumented")
+		return false
+	}
+	if ctx.mf != nil {
+		if err := ctx.mf.Validate(); err != nil {
+			ctx.errorf(PassMap, -1, -1, "mapfile invalid: %v", err)
+			// Keep going in module-only mode: the probe-level passes
+			// do not need the map.
+			ctx.mf = nil
+		}
+	} else {
+		ctx.infof(PassStructure, "no mapfile: map-consistency and map-driven checks skipped")
+	}
+	if ctx.mf != nil && ctx.mf.Managed {
+		return true
+	}
+
+	ctx.helper, ctx.hasHelper = m.FuncByName(core.HelperName)
+	if !ctx.hasHelper {
+		ctx.errorf(PassStructure, -1, -1,
+			"probe helper %s missing from the function table", core.HelperName)
+		return false
+	}
+
+	ctx.effect = ctx.helperAwareEffect()
+	for _, fn := range m.Funcs {
+		if fn.Name == core.HelperName && fn.Entry == ctx.helper.Entry {
+			continue
+		}
+		g, err := cfg.Build(m.Code, fn)
+		if err != nil {
+			ctx.reportBuildError(fn, err)
+			continue
+		}
+		fi := &fnInfo{fn: fn, g: g}
+		fi.reach = reachable(g)
+		fi.liveIn, fi.liveOut = g.LivenessFunc(ctx.effect)
+		ctx.parseProbes(fi)
+		ctx.funcs = append(ctx.funcs, fi)
+	}
+
+	if ctx.mf != nil {
+		ctx.place = make(map[uint32]blockRef)
+		for di := range ctx.mf.DAGs {
+			d := &ctx.mf.DAGs[di]
+			for bi := range d.Blocks {
+				s := d.Blocks[bi].Start
+				if _, dup := ctx.place[s]; !dup {
+					ctx.place[s] = blockRef{dag: di, idx: bi}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// reportBuildError classifies a cfg.Build failure so downstream
+// tooling can distinguish, say, fallthrough-off-end (a codegen or
+// relayout bug) from an escaping branch (corrupt fixups).
+func (ctx *context) reportBuildError(fn module.Func, err error) {
+	if be, ok := err.(*cfg.BuildError); ok {
+		ctx.report(Diagnostic{Pass: PassStructure, Severity: SevError,
+			Func: fn.Name, DAG: -1, Instr: int(be.Instr),
+			Msg: fmt.Sprintf("CFG construction failed (%s): %v", be.Kind, err)})
+		return
+	}
+	ctx.report(Diagnostic{Pass: PassStructure, Severity: SevError,
+		Func: fn.Name, DAG: -1, Instr: -1,
+		Msg: fmt.Sprintf("CFG construction failed: %v", err)})
+}
+
+// helperAwareEffect is cfg.InstrEffect refined with the probe
+// helper's real register footprint: it preserves everything except RV
+// (the buffer pointer it returns) and SP (transiently, restored).
+func (ctx *context) helperAwareEffect() func(isa.Instr) (uses, defs cfg.RegSet) {
+	entry := ctx.helper.Entry
+	return func(in isa.Instr) (uses, defs cfg.RegSet) {
+		if in.Op == isa.CALL && uint32(in.Imm) == entry {
+			var u, d cfg.RegSet
+			return u.Add(isa.SP), d.Add(isa.RV).Add(isa.SP)
+		}
+		return cfg.InstrEffect(in)
+	}
+}
+
+// reachable marks blocks reachable from the function entry.
+func reachable(g *cfg.Graph) []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []int{g.Entry}
+	seen[g.Entry] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[v].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// funcContaining returns the analyzed function covering instruction
+// index idx.
+func (ctx *context) funcContaining(idx uint32) (*fnInfo, bool) {
+	for _, fi := range ctx.funcs {
+		if idx >= fi.fn.Entry && idx < fi.fn.End {
+			return fi, true
+		}
+	}
+	return nil, false
+}
+
+// sortedProbeStarts returns fi's probe block starts in address order,
+// for deterministic diagnostics.
+func sortedProbeStarts(fi *fnInfo) []uint32 {
+	starts := make([]uint32, 0, len(fi.probes))
+	for s := range fi.probes {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts
+}

@@ -1,0 +1,106 @@
+// genbroken regenerates the verifier's committed negative corpus from
+// internal/verify/seed: one .tbm/.map.json pair per defect class under
+// internal/verify/testdata/corpus, a manifest.json mapping each case
+// to the pass that must flag it, and go-fuzz seed files for
+// FuzzMapFileVerify. Run it after changing the seed mutations or the
+// module/mapfile formats:
+//
+//	go run ./tools/genbroken
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"traceback/internal/verify"
+	"traceback/internal/verify/seed"
+)
+
+func main() {
+	if err := generate(); err != nil {
+		fmt.Fprintln(os.Stderr, "genbroken:", err)
+		os.Exit(1)
+	}
+}
+
+type manifestEntry struct {
+	Name string `json:"name"`
+	Pass string `json:"pass"` // pass expected to flag it; "" = clean
+	Desc string `json:"desc"`
+}
+
+func generate() error {
+	cases, err := seed.Cases()
+	if err != nil {
+		return err
+	}
+	corpusDir := filepath.Join("internal", "verify", "testdata", "corpus")
+	fuzzDir := filepath.Join("internal", "verify", "testdata", "fuzz", "FuzzMapFileVerify")
+	for _, dir := range []string{corpusDir, fuzzDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var manifest []manifestEntry
+	for _, c := range cases {
+		// Sanity: each case must behave as advertised before being
+		// committed as ground truth.
+		res := verify.Verify(c.Module, c.Map, verify.Options{})
+		if c.Pass == "" && !res.Ok() {
+			return fmt.Errorf("case %s: baseline not clean (%d errors)", c.Name, res.NumError)
+		}
+		if c.Pass != "" && !res.HasError(c.Pass) {
+			return fmt.Errorf("case %s: pass %s did not flag it", c.Name, c.Pass)
+		}
+
+		modPath := filepath.Join(corpusDir, c.Name+".tbm")
+		f, err := os.Create(modPath)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Module.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		mapPath := filepath.Join(corpusDir, c.Name+".map.json")
+		f, err = os.Create(mapPath)
+		if err != nil {
+			return err
+		}
+		if err := c.Map.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		manifest = append(manifest, manifestEntry{Name: c.Name, Pass: c.Pass, Desc: c.Desc})
+
+		// Each case's mapfile JSON doubles as a fuzz seed: the fuzzer
+		// mutates structurally interesting real mapfiles rather than
+		// starting from noise.
+		raw, err := json.Marshal(c.Map)
+		if err != nil {
+			return err
+		}
+		seedFile := filepath.Join(fuzzDir, "seed-"+c.Name)
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", raw)
+		if err := os.WriteFile(seedFile, []byte(body), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (+map, +fuzz seed)\n", modPath)
+	}
+
+	raw, err := json.MarshalIndent(manifest, "", " ")
+	if err != nil {
+		return err
+	}
+	manifestPath := filepath.Join(corpusDir, "manifest.json")
+	if err := os.WriteFile(manifestPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases)\n", manifestPath, len(manifest))
+	return nil
+}
