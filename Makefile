@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean
+.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check gensnaps
 
 all: build test
 
@@ -40,10 +40,23 @@ check:
 		internal/verify/testdata/corpus/missing-probe.tbm
 	$(GO) run ./cmd/tbcheck internal/verify/testdata/corpus/clean.tbm
 
-# The CI gate: static analysis, instrumentation verification, and the
-# race-detector pass (which subsumes plain `go test`); keep this green
-# before merging.
-ci: vet check test-race
+# The CI gate: static analysis, instrumentation verification, the
+# race-detector pass (which subsumes plain `go test`), and the snap
+# warehouse end-to-end check; keep this green before merging.
+ci: vet check test-race store-check
+
+# Warehouse end-to-end gate: ingest the committed snaps/ fleet plus a
+# fresh re-run of the example scenarios, assert full deduplication and
+# bucket accounting, and verify the index rebuilt from the journal
+# alone is byte-identical to the live index. Fails if snaps/ is stale
+# relative to the scenarios (fix: make gensnaps, commit the result).
+store-check:
+	$(GO) run ./tools/storecheck
+
+# Regenerate the committed example snap fleet (deterministic; only
+# needed when the examples or the instrumentation change).
+gensnaps:
+	$(GO) run ./tools/gensnaps
 
 # Race-detector pass over everything, including the pipeline-vs-oracle
 # stress test (jobs 1/4/16 against one shared MapCache).
@@ -57,6 +70,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceRecordDecode -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSnapReader -fuzztime $(FUZZTIME) ./internal/snap
 	$(GO) test -run '^$$' -fuzz FuzzMapFileVerify -fuzztime $(FUZZTIME) ./internal/verify
+	$(GO) test -run '^$$' -fuzz FuzzArchiveIndex -fuzztime $(FUZZTIME) ./internal/archive
 
 # One benchmark per paper table/figure; results land in bench_output.txt.
 bench:
@@ -78,5 +92,7 @@ bin:
 verify: build test
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
+# snaps/ is committed (the deterministic example fleet the warehouse
+# gate ingests) — clean must not remove it.
 clean:
-	rm -rf bin snaps test_output.txt bench_output.txt
+	rm -rf bin test_output.txt bench_output.txt

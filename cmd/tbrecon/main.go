@@ -72,13 +72,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cache := recon.NewMapCache(loader.Load)
 
+	// Deduplicate across arguments too: `tbrecon snaps/ snaps/a.snap.json`
+	// must reconstruct (and render) a.snap.json once, not twice.
 	var sources []recon.Source
+	seen := map[string]bool{}
 	for _, arg := range fs.Args() {
-		paths, err := expandArg(arg)
+		paths, err := expandArg(arg, stderr)
 		if err != nil {
 			return fail(err)
 		}
 		for _, p := range paths {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
 			sources = append(sources, recon.FileSource(p))
 		}
 	}
@@ -177,8 +184,10 @@ func writeMetrics(dest string, stderr io.Writer, pipe *recon.Pipeline) error {
 }
 
 // expandArg turns a snap file path into itself and a directory into
-// its sorted snap files (batch mode).
-func expandArg(arg string) ([]string, error) {
+// its sorted, deduplicated snap files (batch mode). A directory that
+// mixes snaps with other files is fine: non-snap entries are skipped
+// with a warning instead of sinking the whole batch.
+func expandArg(arg string, warn io.Writer) ([]string, error) {
 	st, err := os.Stat(arg)
 	if err != nil {
 		return nil, err
@@ -186,17 +195,32 @@ func expandArg(arg string) ([]string, error) {
 	if !st.IsDir() {
 		return []string{arg}, nil
 	}
+	entries, err := os.ReadDir(arg)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
 	var paths []string
-	for _, pat := range []string{"*.snap.json", "*.snap.json.gz"} {
-		got, err := filepath.Glob(filepath.Join(arg, pat))
-		if err != nil {
-			return nil, err
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !isSnapName(name) {
+			fmt.Fprintf(warn, "tbrecon: skipping %s: not a snap file\n", filepath.Join(arg, name))
+			continue
 		}
-		paths = append(paths, got...)
+		p := filepath.Join(arg, name)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		paths = append(paths, p)
 	}
 	sort.Strings(paths)
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("%s: no *.snap.json[.gz] files", arg)
 	}
 	return paths, nil
+}
+
+func isSnapName(name string) bool {
+	return strings.HasSuffix(name, ".snap.json") || strings.HasSuffix(name, ".snap.json.gz")
 }

@@ -9,6 +9,7 @@ import (
 
 	"traceback/internal/core"
 	"traceback/internal/minic"
+	"traceback/internal/snap"
 	"traceback/internal/tbrt"
 	"traceback/internal/vm"
 )
@@ -112,5 +113,82 @@ func TestMetricsFileJSON(t *testing.T) {
 	}
 	if !strings.Contains(string(b), `"recon_snaps_total": 1`) {
 		t.Errorf("metrics JSON missing snap count:\n%s", b)
+	}
+}
+
+// TestDirectoryMixedEntries: a snap directory that also holds
+// mapfiles, sources, or stray subdirectories must still batch-expand;
+// each non-snap entry is skipped with a warning, not an error.
+func TestDirectoryMixedEntries(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := writeFixture(t, dir) // writes app-1.snap.json + app.map.json
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a snap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-maps", dir, dir}, &out, &errBuf); code != 0 {
+		t.Fatalf("mixed dir exited %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "snap: process") {
+		t.Errorf("no trace rendered:\n%s", out.String())
+	}
+	for _, skipped := range []string{"README.txt", "app.map.json", "sub"} {
+		if !strings.Contains(errBuf.String(), "skipping") || !strings.Contains(errBuf.String(), skipped) {
+			t.Errorf("stderr missing skip warning for %s:\n%s", skipped, errBuf.String())
+		}
+	}
+
+	// The warnings must not leak onto stdout (piped output stays clean).
+	if strings.Contains(out.String(), "skipping") {
+		t.Error("skip warnings leaked to stdout")
+	}
+
+	// Same directory, snap passed explicitly too: exactly one render.
+	var out2, errBuf2 bytes.Buffer
+	if code := run([]string{"-maps", dir, dir, snapPath}, &out2, &errBuf2); code != 0 {
+		t.Fatalf("overlapping args exited %d: %s", code, errBuf2.String())
+	}
+	if got := strings.Count(out2.String(), "snap: process"); got != 1 {
+		t.Errorf("snap rendered %d times, want 1 (dedup across args)\n%s", got, out2.String())
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Error("overlapping args changed rendered output")
+	}
+}
+
+// TestDirectoryGzipAndPlainDedup: a directory holding the same snap
+// in plain and gzip form reconstructs both files (they are distinct
+// paths), but each exactly once, in sorted order.
+func TestDirectoryGzipAndPlainDedup(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir)
+	// Add a gzip twin of the snap.
+	raw, err := os.ReadFile(filepath.Join(dir, "app-1.snap.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := snap.Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zf, err := os.Create(filepath.Join(dir, "app-2.snap.json.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCompressed(zf); err != nil {
+		t.Fatal(err)
+	}
+	zf.Close()
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-maps", dir, dir}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if got := strings.Count(out.String(), "snap: process"); got != 2 {
+		t.Errorf("rendered %d snaps, want 2 (one per file, no double-count)\n%s", got, out.String())
 	}
 }

@@ -1,0 +1,408 @@
+// tbstore is the fleet-side snap warehouse CLI (the support
+// organization's triage tool): it ingests snap files into a
+// content-addressed, crash-signature-bucketed archive and answers
+// "which fault is hurting the fleet most?" without re-reconstructing
+// anything.
+//
+//	tbstore -store wh ingest -maps build -jobs 8 snaps/
+//	tbstore -store wh ls
+//	tbstore -store wh top -n 5
+//	tbstore -store wh show -maps build 2e2b7aab
+//	tbstore -store wh gc -max-blobs 1000 -max-bytes 100000000 -keep-reps
+//
+// `show` reconstructs a bucket's representative snap on demand and
+// writes the trace to stdout byte-identically to `tbrecon` on that
+// snap; bucket metadata goes to stderr so the trace stays pipeable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"traceback/internal/archive"
+	"traceback/internal/recon"
+	"traceback/internal/snap"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges made explicit for in-process
+// CLI tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tbstore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	store := fs.String("store", "store", "warehouse directory")
+	metricsTo := fs.String("metrics", "", "write archive+pipeline metrics to this file when done (- = stderr; .json = JSON, else Prometheus text)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: tbstore [-store dir] <ingest|ls|top|show|gc> [flags] [args]")
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tbstore:", err)
+		return 1
+	}
+
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	c := &cli{store: *store, stdout: stdout, stderr: stderr}
+	var err error
+	switch cmd {
+	case "ingest":
+		err = c.ingest(rest)
+	case "ls":
+		err = c.ls(rest)
+	case "top":
+		err = c.top(rest)
+	case "show":
+		err = c.show(rest)
+	case "gc":
+		err = c.gc(rest)
+	default:
+		return fail(fmt.Errorf("unknown command %q (want ingest|ls|top|show|gc)", cmd))
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if *metricsTo != "" && c.reg != nil {
+		if werr := writeMetrics(*metricsTo, stderr, c); werr != nil {
+			return fail(werr)
+		}
+	}
+	if c.failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+type cli struct {
+	store          string
+	stdout, stderr io.Writer
+	reg            metricsWriter
+	failed         int
+}
+
+type metricsWriter interface {
+	WritePrometheus(io.Writer) error
+	WriteJSON(io.Writer) error
+}
+
+// ingest reconstructs every input snap on the parallel pipeline (one
+// shared mapfile cache across the whole batch), fingerprints each
+// crash, and folds them into the warehouse with -jobs concurrent
+// ingest workers. Sources that cannot be reconstructed (mapfiles
+// missing) still archive under a weak metadata signature; sources
+// that cannot even be loaded are reported and skipped.
+func (c *cli) ingest(args []string) error {
+	fs := flag.NewFlagSet("tbstore ingest", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	mapsDir := fs.String("maps", ".", "directory containing *.map.json mapfiles")
+	jobs := fs.Int("jobs", 0, "reconstruction + ingest worker count (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("ingest: need snap files or directories")
+	}
+	paths, err := expandSnapArgs(fs.Args(), c.stderr)
+	if err != nil {
+		return err
+	}
+
+	loader, err := recon.NewDirLoader(*mapsDir)
+	if err != nil {
+		return err
+	}
+	cache := recon.NewMapCache(loader.Load)
+	pipe := recon.NewPipeline(cache, *jobs)
+	c.reg = pipe.Registry()
+
+	arch, err := archive.OpenWith(c.store, archive.Options{Telemetry: pipe.Registry()})
+	if err != nil {
+		return err
+	}
+	defer arch.Close()
+
+	sources := make([]recon.Source, len(paths))
+	for i, p := range paths {
+		sources[i] = recon.FileSource(p)
+	}
+	results := pipe.Run(sources)
+
+	// Concurrent ingest over the reconstructed batch: the archive
+	// single-flights identical snaps, so worker count only affects
+	// wall clock, never the resulting index.
+	type outcome struct {
+		res archive.IngestResult
+		err error
+	}
+	outs := make([]outcome, len(results))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, pipe.Jobs())
+	for i := range results {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			outs[i].res, outs[i].err = ingestOne(arch, &results[i])
+		}(i)
+	}
+	wg.Wait()
+
+	var stored, dups, newBuckets int
+	for i := range outs {
+		if outs[i].err != nil {
+			fmt.Fprintf(c.stderr, "tbstore: %s: %v\n", results[i].Name, outs[i].err)
+			c.failed++
+			continue
+		}
+		r := outs[i].res
+		state := "stored"
+		if r.Dup {
+			state = "dup"
+			dups++
+		} else {
+			stored++
+		}
+		if r.NewBucket {
+			newBuckets++
+		}
+		weak := ""
+		if r.Sig.Weak {
+			weak = " (weak)"
+		}
+		fmt.Fprintf(c.stdout, "%s: %s %s -> bucket %s%s\n",
+			results[i].Name, state, r.Sum[:12], r.Sig.ID, weak)
+	}
+	fmt.Fprintf(c.stdout, "ingested %d snap(s): %d stored, %d deduplicated, %d new bucket(s); store holds %d blob(s) in %d bucket(s), %d bytes\n",
+		stored+dups, stored, dups, newBuckets, arch.NumBlobs(), len(arch.Buckets()), arch.StoredBytes())
+	return nil
+}
+
+// ingestOne archives one pipeline result. A reconstruction failure
+// downgrades to the weak metadata signature so the snap is preserved
+// either way — the warehouse must never drop evidence.
+func ingestOne(arch *archive.Archive, res *recon.Result) (archive.IngestResult, error) {
+	if res.Err == nil {
+		return arch.Ingest(res.Trace.Snap, archive.FromTrace(res.Trace))
+	}
+	f, err := os.Open(res.Name)
+	if err != nil {
+		return archive.IngestResult{}, res.Err
+	}
+	defer f.Close()
+	s, err := snap.LoadAuto(f)
+	if err != nil {
+		return archive.IngestResult{}, res.Err
+	}
+	return arch.Ingest(s, archive.SignatureOf(s, nil))
+}
+
+func (c *cli) ls(args []string) error {
+	fs := flag.NewFlagSet("tbstore ls", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	verbose := fs.Bool("v", false, "also list each bucket's blobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := archive.Open(c.store)
+	if err != nil {
+		return err
+	}
+	defer arch.Close()
+	buckets := arch.Buckets()
+	for _, b := range buckets {
+		fmt.Fprintf(c.stdout, "%s  x%-4d %s  hosts=%s\n",
+			b.Sig, b.Count, b.Title, strings.Join(b.Hosts, ","))
+		if *verbose {
+			for _, ref := range b.Snaps {
+				fmt.Fprintf(c.stdout, "    %s  %6d bytes  %s/%s  t=%d  %s\n",
+					ref.Sum[:12], ref.Bytes, ref.Host, ref.Process, ref.Time, ref.Reason)
+			}
+		}
+	}
+	fmt.Fprintf(c.stdout, "%d bucket(s), %d blob(s), %d bytes\n",
+		len(buckets), arch.NumBlobs(), arch.StoredBytes())
+	return nil
+}
+
+// top is the triage view: buckets by occurrence count.
+func (c *cli) top(args []string) error {
+	fs := flag.NewFlagSet("tbstore top", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	n := fs.Int("n", 10, "buckets to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := archive.Open(c.store)
+	if err != nil {
+		return err
+	}
+	defer arch.Close()
+	buckets := arch.Buckets()
+	if *n > 0 && len(buckets) > *n {
+		buckets = buckets[:*n]
+	}
+	for i, b := range buckets {
+		fmt.Fprintf(c.stdout, "%2d. x%-4d %s  %s  (hosts %s, seen %d..%d)\n",
+			i+1, b.Count, b.Sig, b.Title, strings.Join(b.Hosts, ","), b.FirstSeen, b.LastSeen)
+	}
+	return nil
+}
+
+// show reconstructs a bucket's representative snap on demand. The
+// trace on stdout is byte-identical to `tbrecon` over the same snap;
+// everything else goes to stderr.
+func (c *cli) show(args []string) error {
+	fs := flag.NewFlagSet("tbstore show", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	mapsDir := fs.String("maps", ".", "directory containing *.map.json mapfiles")
+	srcDir := fs.String("src", "", "directory containing source files (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("show: need one bucket signature (prefix ok)")
+	}
+	arch, err := archive.Open(c.store)
+	if err != nil {
+		return err
+	}
+	defer arch.Close()
+	b, err := arch.Bucket(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if b.Rep == "" {
+		return fmt.Errorf("show: bucket %s has no resident snaps (evicted by gc)", b.Sig)
+	}
+	fmt.Fprintf(c.stderr, "bucket %s: %s\n", b.Sig, b.Title)
+	fmt.Fprintf(c.stderr, "count %d, hosts %s, seen %d..%d, representative %s\n",
+		b.Count, strings.Join(b.Hosts, ","), b.FirstSeen, b.LastSeen, b.Rep[:12])
+
+	s, err := arch.LoadSnap(b.Rep)
+	if err != nil {
+		return err
+	}
+	loader, err := recon.NewDirLoader(*mapsDir)
+	if err != nil {
+		return err
+	}
+	pipe := recon.NewPipeline(recon.NewMapCache(loader.Load), 0)
+	pt, err := pipe.ReconstructSnap(s)
+	if err != nil {
+		return err
+	}
+	opts := recon.RenderOptions{}
+	if *srcDir != "" {
+		cache := recon.NewSourceCache(func(file string) []string {
+			b, err := os.ReadFile(filepath.Join(*srcDir, filepath.Base(file)))
+			if err != nil {
+				return nil
+			}
+			return strings.Split(string(b), "\n")
+		})
+		opts.Source = cache.Lines
+	}
+	recon.Render(c.stdout, pt, opts)
+	fmt.Fprintln(c.stdout)
+	return nil
+}
+
+func (c *cli) gc(args []string) error {
+	fs := flag.NewFlagSet("tbstore gc", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	maxAge := fs.Uint64("max-age", 0, "evict blobs older than newest-N (snap-time cycles; 0 = no limit)")
+	maxBlobs := fs.Int("max-blobs", 0, "keep at most N blobs (0 = no limit)")
+	maxBytes := fs.Int64("max-bytes", 0, "keep at most N compressed bytes (0 = no limit)")
+	keepReps := fs.Bool("keep-reps", false, "never count/byte-evict a bucket's representative snap")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := archive.Open(c.store)
+	if err != nil {
+		return err
+	}
+	defer arch.Close()
+	res, err := arch.GC(archive.GCPolicy{
+		MaxAge: *maxAge, MaxBlobs: *maxBlobs, MaxBytes: *maxBytes, KeepReps: *keepReps,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.stdout, "gc: removed %d blob(s), %d bytes; store holds %d blob(s), %d bytes\n",
+		res.Removed, res.Bytes, arch.NumBlobs(), arch.StoredBytes())
+	return nil
+}
+
+// expandSnapArgs expands files and directories into a deduplicated,
+// sorted snap path list, warning about (and skipping) directory
+// entries that are not snap files.
+func expandSnapArgs(args []string, warn io.Writer) ([]string, error) {
+	seen := map[string]bool{}
+	var paths []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			add(arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		found := 0
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !isSnapName(name) {
+				fmt.Fprintf(warn, "tbstore: skipping %s: not a snap file\n", filepath.Join(arg, name))
+				continue
+			}
+			add(filepath.Join(arg, name))
+			found++
+		}
+		if found == 0 {
+			return nil, fmt.Errorf("%s: no *.snap.json[.gz] files", arg)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func isSnapName(name string) bool {
+	return strings.HasSuffix(name, ".snap.json") || strings.HasSuffix(name, ".snap.json.gz")
+}
+
+func writeMetrics(dest string, stderr io.Writer, c *cli) error {
+	if dest == "-" {
+		return c.reg.WritePrometheus(stderr)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(dest, ".json") {
+		return c.reg.WriteJSON(f)
+	}
+	return c.reg.WritePrometheus(f)
+}

@@ -1,0 +1,541 @@
+// Package archive is the snap warehouse: durable, deduplicated,
+// fleet-queryable storage for TraceBack snapshots. The paper's §6
+// observes snaps compress ~10x "for ease of archiving or
+// transmission" precisely so support organizations can keep them;
+// this package is that support-side store. Snaps are held as
+// content-addressed gzip blobs (checksummed over their canonical JSON
+// so identical crashes from different hosts store once), every ingest
+// is journaled append-only, and each snap is fingerprinted by its
+// crash signature (signature.go) into a bucket — the unit of triage:
+// "which fault is hurting the fleet most" is a sort of the buckets by
+// occurrence count.
+package archive
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"traceback/internal/snap"
+	"traceback/internal/telemetry"
+)
+
+const (
+	journalName = "journal.jsonl"
+	indexName   = "index.json"
+	blobDirName = "blobs"
+	blobSuffix  = ".snap.json.gz"
+)
+
+// Options configures an archive.
+type Options struct {
+	// Telemetry is the registry arch_ metrics land in (nil: private
+	// registry).
+	Telemetry *telemetry.Registry
+}
+
+// Archive is an open snap warehouse rooted at a directory:
+//
+//	root/journal.jsonl          append-only system of record
+//	root/index.json             deterministic reduction (Flush/Close)
+//	root/blobs/ab/<sum>.snap.json.gz  content-addressed snaps
+type Archive struct {
+	root    string
+	journal *os.File
+
+	mu sync.Mutex // guards st and journal appends
+	st *state
+
+	fmu    sync.Mutex // guards flight
+	flight map[string]*flightCall
+
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+	met metrics
+}
+
+// flightCall coalesces concurrent blob writes for one checksum.
+type flightCall struct {
+	done chan struct{}
+	size int64
+	err  error
+}
+
+type metrics struct {
+	ingested    *telemetry.Counter
+	deduped     *telemetry.Counter
+	gcRuns      *telemetry.Counter
+	gcRemoved   *telemetry.Counter
+	bytesOut    *telemetry.Counter
+	ingestNanos *telemetry.Histogram
+}
+
+// Open opens (creating if needed) the archive at root and replays its
+// journal. An unterminated final journal line — the footprint of a
+// crash mid-append — is dropped silently; everything before it is
+// intact, and the matching blob is simply re-ingestable.
+func Open(root string) (*Archive, error) { return OpenWith(root, Options{}) }
+
+// OpenWith opens the archive with explicit options.
+func OpenWith(root string, opts Options) (*Archive, error) {
+	if err := os.MkdirAll(filepath.Join(root, blobDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	jpath := filepath.Join(root, journalName)
+	st := newState()
+	if f, err := os.Open(jpath); err == nil {
+		recs, _, derr := decodeJournalLines(f, true)
+		f.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("archive: replaying %s: %w", jpath, derr)
+		}
+		st = reduceJournal(recs)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	j, err := os.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	a := &Archive{
+		root:    root,
+		journal: j,
+		st:      st,
+		flight:  map[string]*flightCall{},
+	}
+	a.bindTelemetry(opts.Telemetry)
+	return a, nil
+}
+
+func (a *Archive) bindTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	a.reg = reg
+	a.rec = reg.Recorder(256)
+	a.met = metrics{
+		ingested:    reg.Counter("arch_ingested_total", "snaps ingested into the warehouse"),
+		deduped:     reg.Counter("arch_deduped_total", "ingests deduplicated onto an existing blob"),
+		gcRuns:      reg.Counter("arch_gc_runs_total", "retention sweeps executed"),
+		gcRemoved:   reg.Counter("arch_gc_removed_total", "blobs removed by retention sweeps"),
+		bytesOut:    reg.Counter("arch_bytes_written_total", "compressed blob bytes written"),
+		ingestNanos: reg.Histogram("arch_ingest_nanos", "per-snap ingest latency (ns)", telemetry.DurationBuckets()),
+	}
+	reg.GaugeFunc("arch_buckets", "distinct crash-signature buckets", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(len(a.st.buckets))
+	})
+	reg.GaugeFunc("arch_blobs", "content-addressed blobs resident", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(len(a.st.blobs))
+	})
+	reg.GaugeFunc("arch_bytes_stored", "compressed blob bytes resident", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.st.bytes
+	})
+}
+
+// Metrics returns the archive's registry.
+func (a *Archive) Metrics() *telemetry.Registry { return a.reg }
+
+// Root returns the archive's directory.
+func (a *Archive) Root() string { return a.root }
+
+func (a *Archive) blobPath(sum string) string {
+	return filepath.Join(a.root, blobDirName, sum[:2], sum+blobSuffix)
+}
+
+// ChecksumSnap computes a snap's content address: SHA-256 over its
+// canonical (uncompressed) JSON, so the key is independent of the
+// compression level the blob happens to be stored at.
+func ChecksumSnap(s *snap.Snap) (sum string, canonical []byte, err error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return "", nil, fmt.Errorf("archive: encoding snap: %w", err)
+	}
+	h := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(h[:]), buf.Bytes(), nil
+}
+
+// IngestResult reports what one ingest did.
+type IngestResult struct {
+	Sum       string
+	Sig       Signature
+	Dup       bool // blob already present; only the bucket count moved
+	NewBucket bool // first occurrence of this crash signature
+	Bytes     int64
+}
+
+// Ingest stores one snap under its crash signature: content-address,
+// write the blob if it is new (single-flight across goroutines,
+// atomic rename on disk), journal the event, fold it into the bucket.
+// Safe for concurrent use; concurrent ingest of identical snaps
+// stores exactly one blob and counts every occurrence.
+func (a *Archive) Ingest(s *snap.Snap, sig Signature) (IngestResult, error) {
+	t0 := time.Now()
+	defer func() { a.met.ingestNanos.Observe(uint64(time.Since(t0))) }()
+
+	sum, canonical, err := ChecksumSnap(s)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	dup, size, err := a.ensureBlob(sum, s, canonical)
+	if err != nil {
+		return IngestResult{}, err
+	}
+
+	rec := JournalRecord{
+		V: formatVersion, Op: OpIngest, Sum: sum,
+		Sig: sig.ID, Title: sig.Title, Weak: sig.Weak,
+		Host: s.Host, Process: s.Process, Reason: s.Reason,
+		Time: s.Time, Bytes: size,
+	}
+	line, err := encodeJournal(&rec)
+	if err != nil {
+		return IngestResult{}, err
+	}
+
+	a.mu.Lock()
+	if _, werr := a.journal.Write(line); werr != nil {
+		a.mu.Unlock()
+		return IngestResult{}, fmt.Errorf("archive: journal append: %w", werr)
+	}
+	newBucket := a.st.apply(&rec)
+	a.mu.Unlock()
+
+	a.met.ingested.Inc()
+	if dup {
+		a.met.deduped.Inc()
+	}
+	if newBucket {
+		a.rec.Record(s.Time, "bucket-new", sig.ID+" "+sig.Title)
+	}
+	return IngestResult{Sum: sum, Sig: sig, Dup: dup, NewBucket: newBucket, Bytes: size}, nil
+}
+
+// ensureBlob materializes the blob for sum unless it already exists.
+// The first caller for a given sum compresses and writes (tmp file +
+// rename, so a crash never leaves a partial blob at the final path);
+// concurrent callers for the same sum wait for it and report a dup.
+func (a *Archive) ensureBlob(sum string, s *snap.Snap, canonical []byte) (dup bool, size int64, err error) {
+	path := a.blobPath(sum)
+	a.fmu.Lock()
+	if c, ok := a.flight[sum]; ok {
+		a.fmu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return false, 0, c.err
+		}
+		return true, c.size, nil
+	}
+	if fi, serr := os.Stat(path); serr == nil {
+		a.fmu.Unlock()
+		return true, fi.Size(), nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	a.flight[sum] = c
+	a.fmu.Unlock()
+
+	c.size, c.err = a.writeBlob(path, canonical)
+	a.fmu.Lock()
+	delete(a.flight, sum)
+	a.fmu.Unlock()
+	close(c.done)
+	if c.err == nil {
+		a.met.bytesOut.Add(uint64(c.size))
+	}
+	return false, c.size, c.err
+}
+
+// writeBlob gzips the exact canonical bytes the content address was
+// computed over (LoadAuto reads it back), via tmp file + rename.
+func (a *Archive) writeBlob(path string, canonical []byte) (int64, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".blob-*")
+	if err != nil {
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	zw, err := gzip.NewWriterLevel(tmp, gzip.BestCompression)
+	if err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	if _, err := zw.Write(canonical); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("archive: writing blob: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("archive: writing blob: %w", err)
+	}
+	fi, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// LoadSnap reads a stored snap back by its content address.
+func (a *Archive) LoadSnap(sum string) (*snap.Snap, error) {
+	f, err := os.Open(a.blobPath(sum))
+	if err != nil {
+		return nil, fmt.Errorf("archive: blob %s: %w", sum, err)
+	}
+	defer f.Close()
+	return snap.LoadAuto(f)
+}
+
+// Buckets returns every bucket, most occurrences first (count desc,
+// signature asc) — the `tbstore top` order.
+func (a *Archive) Buckets() []Bucket {
+	a.mu.Lock()
+	out := make([]Bucket, 0, len(a.st.buckets))
+	for _, b := range a.st.buckets {
+		out = append(out, cloneBucket(b))
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Sig < out[j].Sig
+	})
+	return out
+}
+
+// Bucket resolves a signature, accepting any unambiguous prefix (CLI
+// convenience, like abbreviated git hashes).
+func (a *Archive) Bucket(sigPrefix string) (Bucket, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b, ok := a.st.buckets[sigPrefix]; ok {
+		return cloneBucket(b), nil
+	}
+	var found *Bucket
+	for sig, b := range a.st.buckets {
+		if strings.HasPrefix(sig, sigPrefix) {
+			if found != nil {
+				return Bucket{}, fmt.Errorf("archive: signature prefix %q is ambiguous", sigPrefix)
+			}
+			found = b
+		}
+	}
+	if found == nil {
+		return Bucket{}, fmt.Errorf("archive: no bucket %q", sigPrefix)
+	}
+	return cloneBucket(found), nil
+}
+
+// NumBlobs reports resident blob count.
+func (a *Archive) NumBlobs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.st.blobs)
+}
+
+// StoredBytes reports resident compressed bytes.
+func (a *Archive) StoredBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.st.bytes
+}
+
+// IndexBytes renders the live index in its canonical byte form.
+func (a *Archive) IndexBytes() ([]byte, error) {
+	a.mu.Lock()
+	idx := a.st.index()
+	a.mu.Unlock()
+	return encodeIndex(idx)
+}
+
+// RebuildIndexBytes re-reads the journal from disk and reduces it
+// from scratch — the recovery path, and the cross-check that the live
+// index and the journal agree byte for byte.
+func (a *Archive) RebuildIndexBytes() ([]byte, error) {
+	f, err := os.Open(filepath.Join(a.root, journalName))
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	defer f.Close()
+	recs, _, err := decodeJournalLines(f, true)
+	if err != nil {
+		return nil, err
+	}
+	return encodeIndex(reduceJournal(recs).index())
+}
+
+// Flush writes index.json atomically from the live state.
+func (a *Archive) Flush() error {
+	b, err := a.IndexBytes()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(a.root, indexName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// Close flushes the index and closes the journal.
+func (a *Archive) Close() error {
+	if err := a.Flush(); err != nil {
+		a.journal.Close()
+		return err
+	}
+	return a.journal.Close()
+}
+
+// GCPolicy bounds the store. Zero fields mean "no bound". Ages are in
+// snap-time units (VM cycles), measured against the newest snap held.
+type GCPolicy struct {
+	MaxAge   uint64 // evict blobs older than newest-MaxAge
+	MaxBlobs int    // keep at most this many blobs
+	MaxBytes int64  // keep at most this many compressed bytes
+	// KeepReps protects each bucket's representative snap from
+	// count/byte eviction (age still wins), so `show` keeps working
+	// for every known fault.
+	KeepReps bool
+}
+
+// GCResult reports one sweep.
+type GCResult struct {
+	Removed int
+	Bytes   int64
+}
+
+// GC applies the retention policy: oldest blobs first (by snap time,
+// then checksum — fully deterministic), journaled as a single gc
+// record so replay reproduces the exact removal.
+func (a *Archive) GC(pol GCPolicy) (GCResult, error) {
+	a.mu.Lock()
+	victims := a.planGC(pol)
+	var res GCResult
+	if len(victims) == 0 {
+		a.mu.Unlock()
+		a.met.gcRuns.Inc()
+		return res, nil
+	}
+	sums := make([]string, len(victims))
+	for i, v := range victims {
+		sums[i] = v.Sum
+		res.Bytes += v.Bytes
+	}
+	res.Removed = len(victims)
+	rec := JournalRecord{V: formatVersion, Op: OpGC, Removed: sums}
+	line, err := encodeJournal(&rec)
+	if err != nil {
+		a.mu.Unlock()
+		return GCResult{}, err
+	}
+	if _, werr := a.journal.Write(line); werr != nil {
+		a.mu.Unlock()
+		return GCResult{}, fmt.Errorf("archive: journal append: %w", werr)
+	}
+	a.st.apply(&rec)
+	a.mu.Unlock()
+
+	// Blob unlink after the journal records the decision: a crash
+	// between the two leaves only an already-condemned blob behind,
+	// which replay removes from the index anyway.
+	for _, sum := range sums {
+		if err := os.Remove(a.blobPath(sum)); err != nil && !os.IsNotExist(err) {
+			return res, fmt.Errorf("archive: %w", err)
+		}
+	}
+	a.met.gcRuns.Inc()
+	a.met.gcRemoved.Add(uint64(res.Removed))
+	a.rec.Record(0, "gc", fmt.Sprintf("removed %d blob(s), %d bytes", res.Removed, res.Bytes))
+	return res, nil
+}
+
+// planGC selects victims under a.mu.
+func (a *Archive) planGC(pol GCPolicy) []BlobRef {
+	refs := make([]BlobRef, 0, len(a.st.blobs))
+	var newest uint64
+	for _, r := range a.st.blobs {
+		refs = append(refs, *r)
+		if r.Time > newest {
+			newest = r.Time
+		}
+	}
+	sortRefs(refs) // oldest first
+	reps := map[string]bool{}
+	if pol.KeepReps {
+		for _, b := range a.st.buckets {
+			if b.Rep != "" {
+				reps[b.Rep] = true
+			}
+		}
+	}
+
+	victims := map[string]bool{}
+	count := len(refs)
+	bytes := a.st.bytes
+	evict := func(r BlobRef) {
+		if victims[r.Sum] {
+			return
+		}
+		victims[r.Sum] = true
+		count--
+		bytes -= r.Bytes
+	}
+	if pol.MaxAge > 0 {
+		for _, r := range refs {
+			if newest-r.Time > pol.MaxAge {
+				evict(r)
+			}
+		}
+	}
+	for _, r := range refs {
+		overCount := pol.MaxBlobs > 0 && count > pol.MaxBlobs
+		overBytes := pol.MaxBytes > 0 && bytes > pol.MaxBytes
+		if !overCount && !overBytes {
+			break
+		}
+		if victims[r.Sum] || reps[r.Sum] {
+			continue
+		}
+		evict(r)
+	}
+
+	out := make([]BlobRef, 0, len(victims))
+	for _, r := range refs {
+		if victims[r.Sum] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func cloneBucket(b *Bucket) Bucket {
+	c := *b
+	c.Hosts = append([]string(nil), b.Hosts...)
+	c.Snaps = append([]BlobRef(nil), b.Snaps...)
+	return c
+}

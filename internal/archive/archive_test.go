@@ -1,0 +1,436 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"traceback/internal/snap"
+	"traceback/internal/telemetry"
+)
+
+// mkSnap builds a distinct synthetic snap; the same (host, n) always
+// yields byte-identical content, so dedup is testable.
+func mkSnap(host string, n int) *snap.Snap {
+	return &snap.Snap{
+		Host: host, Process: "app", PID: 100 + n, RuntimeID: uint64(n),
+		Reason: "exception SIGSEGV", Signal: 11, Time: uint64(1000 * (n + 1)),
+		Modules: []snap.ModuleInfo{{Name: "app", Checksum: fmt.Sprintf("c%02d", n), DAGCount: 1}},
+		Buffers: []snap.BufferDump{{Kind: snap.BufMain, OwnerTID: 1, LastKnown: true,
+			SubWords: 4, Raw: []byte{byte(n), 0, 0, 0}}},
+	}
+}
+
+func sigFor(id string) Signature {
+	return Signature{ID: id, Title: "bucket " + id, Weak: true}
+}
+
+func TestIngestDedupOneBlobTwoCounts(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	s := mkSnap("h1", 1)
+	r1, err := a.Ingest(s, sigFor("aa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Dup || !r1.NewBucket {
+		t.Fatalf("first ingest: %+v, want stored + new bucket", r1)
+	}
+	r2, err := a.Ingest(s, sigFor("aa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Dup || r2.NewBucket {
+		t.Fatalf("second ingest: %+v, want dup, no new bucket", r2)
+	}
+	if r1.Sum != r2.Sum {
+		t.Fatalf("content address changed: %s vs %s", r1.Sum, r2.Sum)
+	}
+
+	if got := a.NumBlobs(); got != 1 {
+		t.Errorf("NumBlobs = %d, want 1", got)
+	}
+	b, err := a.Bucket("aa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != 2 || len(b.Snaps) != 1 || b.Rep != r1.Sum {
+		t.Errorf("bucket = %+v, want count 2, one blob, rep %s", b, r1.Sum[:8])
+	}
+
+	// The blob round-trips to an identical snap.
+	got, err := a.LoadSnap(r1.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2, _, err := ChecksumSnap(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2 != r1.Sum {
+		t.Errorf("reloaded snap re-checksums to %s, want %s", sum2[:8], r1.Sum[:8])
+	}
+}
+
+func TestBucketAggregation(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Three occurrences of one fault from two hosts, one of another.
+	for _, in := range []struct {
+		s   *snap.Snap
+		sig string
+	}{
+		{mkSnap("host-b", 1), "aa"},
+		{mkSnap("host-a", 2), "aa"},
+		{mkSnap("host-a", 2), "aa"}, // identical → dedup
+		{mkSnap("host-c", 3), "bb"},
+	} {
+		if _, err := a.Ingest(in.s, sigFor(in.sig)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	buckets := a.Buckets()
+	if len(buckets) != 2 {
+		t.Fatalf("%d buckets, want 2", len(buckets))
+	}
+	// Sorted by count desc: "aa" (3) first.
+	if buckets[0].Sig != "aa" || buckets[0].Count != 3 {
+		t.Errorf("top bucket = %s x%d, want aa x3", buckets[0].Sig, buckets[0].Count)
+	}
+	if got := strings.Join(buckets[0].Hosts, ","); got != "host-a,host-b" {
+		t.Errorf("hosts = %q, want sorted unique host-a,host-b", got)
+	}
+	if buckets[0].FirstSeen != 2000 || buckets[0].LastSeen != 3000 {
+		t.Errorf("seen range = %d..%d, want 2000..3000", buckets[0].FirstSeen, buckets[0].LastSeen)
+	}
+	// Rep is the earliest-seen blob (host-b at 2000 beats host-a at 3000).
+	if len(buckets[0].Snaps) != 2 || buckets[0].Rep != buckets[0].Snaps[0].Sum {
+		t.Errorf("rep %s is not the oldest blob", buckets[0].Rep[:8])
+	}
+
+	// Prefix resolution.
+	if _, err := a.Bucket("a"); err != nil {
+		t.Errorf("prefix a: %v", err)
+	}
+	if _, err := a.Bucket("zz"); err == nil {
+		t.Error("unknown bucket resolved")
+	}
+}
+
+// TestConcurrentIngestMatchesSequential is the warehouse's core
+// determinism guarantee: 16-way concurrent ingest of a batch (with
+// duplicates) produces byte-identical index state to one-by-one
+// ingest, and exactly one blob per distinct snap.
+func TestConcurrentIngestMatchesSequential(t *testing.T) {
+	batch := make([]*snap.Snap, 0, 64)
+	sigs := make([]Signature, 0, 64)
+	for i := 0; i < 64; i++ {
+		n := i % 8 // 8 distinct snaps, each 8 times
+		batch = append(batch, mkSnap("h", n))
+		sigs = append(sigs, sigFor(fmt.Sprintf("s%d", n%4))) // 4 buckets
+	}
+
+	seq, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	for i, s := range batch {
+		if _, err := seq.Ingest(s, sigs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	conc, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conc.Close()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	errs := make([]error, len(batch))
+	for i := range batch {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			_, errs[i] = conc.Ingest(batch[i], sigs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seqIdx, err := seq.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	concIdx, err := conc.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqIdx, concIdx) {
+		t.Errorf("concurrent index differs from sequential:\n--- seq ---\n%s\n--- conc ---\n%s", seqIdx, concIdx)
+	}
+	if got := conc.NumBlobs(); got != 8 {
+		t.Errorf("NumBlobs = %d, want 8", got)
+	}
+}
+
+func TestJournalRebuildAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := a.Ingest(mkSnap("h", i), sigFor(fmt.Sprintf("s%d", i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.GC(GCPolicy{MaxBlobs: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := a.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := a.RebuildIndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live, rebuilt) {
+		t.Errorf("journal rebuild differs from live index:\n--- live ---\n%s\n--- rebuilt ---\n%s", live, rebuilt)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: replay must reproduce the same index; the flushed
+	// index.json must already hold those bytes.
+	onDisk, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, live) {
+		t.Error("flushed index.json differs from live index bytes")
+	}
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	reopened, err := a2.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reopened, live) {
+		t.Error("reopened index differs from pre-close index")
+	}
+
+	// A crash mid-append (unterminated trailing line) must not stop
+	// the archive from opening; complete records all replay.
+	j, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.WriteString(`{"v":1,"op":"ingest","sum":"deadbeef","sig":"s9"`); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	a3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer a3.Close()
+	tolerant, err := a3.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tolerant, live) {
+		t.Error("torn journal tail changed the replayed index")
+	}
+}
+
+func TestGCPolicies(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var sums []string
+	for i := 0; i < 6; i++ { // times 1000..6000
+		r, err := a.Ingest(mkSnap("h", i), sigFor(fmt.Sprintf("s%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, r.Sum)
+	}
+
+	// Age: newest is 6000; MaxAge 3000 evicts times 1000 and 2000.
+	res, err := a.GC(GCPolicy{MaxAge: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 2 {
+		t.Fatalf("age gc removed %d, want 2", res.Removed)
+	}
+	if _, err := a.LoadSnap(sums[0]); err == nil {
+		t.Error("evicted blob still loadable")
+	}
+	if _, err := a.LoadSnap(sums[5]); err != nil {
+		t.Errorf("surviving blob unloadable: %v", err)
+	}
+	// Evicted buckets keep their history but lose their rep.
+	b, err := a.Bucket("s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != 1 || b.Rep != "" || len(b.Snaps) != 0 {
+		t.Errorf("evicted bucket = %+v, want count kept, rep cleared", b)
+	}
+
+	// Count bound: keep 2 of the remaining 4.
+	if res, err = a.GC(GCPolicy{MaxBlobs: 2}); err != nil || res.Removed != 2 {
+		t.Fatalf("count gc = %+v, %v; want 2 removed", res, err)
+	}
+	if got := a.NumBlobs(); got != 2 {
+		t.Fatalf("NumBlobs = %d, want 2", got)
+	}
+
+	// Bytes bound: shrink to at most one blob's bytes.
+	refs := a.Buckets()
+	var oneBlob int64
+	for _, b := range refs {
+		for _, r := range b.Snaps {
+			oneBlob = r.Bytes
+		}
+	}
+	if _, err := a.GC(GCPolicy{MaxBytes: oneBlob}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.StoredBytes(); got > oneBlob {
+		t.Errorf("StoredBytes = %d, want <= %d", got, oneBlob)
+	}
+
+	// Rebuild equivalence survives all the GC records.
+	live, _ := a.IndexBytes()
+	rebuilt, err := a.RebuildIndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live, rebuilt) {
+		t.Error("rebuild differs after gc records")
+	}
+}
+
+func TestGCKeepReps(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := a.Ingest(mkSnap("h", i), sigFor("only")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.GC(GCPolicy{MaxBlobs: 1, KeepReps: true}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Bucket("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rep == "" {
+		t.Fatal("representative evicted despite KeepReps")
+	}
+	if _, err := a.LoadSnap(b.Rep); err != nil {
+		t.Errorf("representative unloadable: %v", err)
+	}
+}
+
+func TestTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	a, err := OpenWith(t.TempDir(), Options{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	s := mkSnap("h", 1)
+	if _, err := a.Ingest(s, sigFor("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ingest(s, sigFor("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.GC(GCPolicy{MaxBlobs: 0}); err != nil { // no-op sweep
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expo := buf.String()
+	for _, want := range []string{
+		"arch_ingested_total 2",
+		"arch_deduped_total 1",
+		"arch_buckets 1",
+		"arch_blobs 1",
+		"arch_gc_runs_total 1",
+		"arch_ingest_nanos_count 2",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q:\n%s", want, expo)
+		}
+	}
+	// New buckets land in the flight recorder.
+	evs := reg.FlightRecorder().Events()
+	found := false
+	for _, e := range evs {
+		if e.Kind == "bucket-new" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no bucket-new flight event in %+v", evs)
+	}
+}
+
+func TestJournalDecodeErrors(t *testing.T) {
+	// Strict decode: a malformed line is an inspectable error.
+	_, err := DecodeJournal(strings.NewReader("{\"v\":1,\"op\":\"ingest\"\n"))
+	if !errors.Is(err, ErrJournalSyntax) {
+		t.Errorf("syntax err = %v, want ErrJournalSyntax", err)
+	}
+	_, err = DecodeJournal(strings.NewReader("{\"v\":9,\"op\":\"ingest\",\"sum\":\"x\",\"sig\":\"y\"}\n"))
+	if !errors.Is(err, ErrJournalVersion) {
+		t.Errorf("version err = %v, want ErrJournalVersion", err)
+	}
+	_, err = DecodeJournal(strings.NewReader("{\"v\":1,\"op\":\"bogus\"}\n"))
+	if !errors.Is(err, ErrJournalSyntax) {
+		t.Errorf("op err = %v, want ErrJournalSyntax", err)
+	}
+	if _, err := DecodeIndex([]byte("{")); !errors.Is(err, ErrIndexSyntax) {
+		t.Errorf("index err = %v, want ErrIndexSyntax", err)
+	}
+}

@@ -1,0 +1,105 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzArchiveIndex feeds arbitrary bytes to both warehouse decoders —
+// the journal scanner (strict and crash-tolerant) and the index
+// parser. Neither may panic. Any journal the strict decoder accepts
+// must reduce to an index that encodes, re-decodes, and re-encodes to
+// the same bytes (the reduction is the recovery path; it cannot be
+// lossy over its own output), and the tolerant scanner must accept at
+// least everything the strict one does.
+func FuzzArchiveIndex(f *testing.F) {
+	// Seed with the real shapes: journal lines as Ingest/GC write them,
+	// a reduced index, and the torn/corrupt variants the decoders exist
+	// to classify. These also live under testdata/fuzz/FuzzArchiveIndex
+	// so `go test` replays them as regression inputs.
+	ing := JournalRecord{
+		V: formatVersion, Op: OpIngest,
+		Sum: "8f2e77aea6370000", Sig: "ee2180a7c9368aee",
+		Title: "exception at app.mc:14 in average (app)",
+		Host:  "prod-host", Process: "app", Reason: "exception SIGFPE",
+		Time: 4242, Bytes: 512,
+	}
+	line1, err := encodeJournal(&ing)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ing2 := ing
+	ing2.Sum, ing2.Host, ing2.Time = "0880a607c3790000", "host-b", 9000
+	line2, err := encodeJournal(&ing2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gc := JournalRecord{V: formatVersion, Op: OpGC, Removed: []string{ing.Sum}}
+	line3, err := encodeJournal(&gc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	journal := append(append(append([]byte(nil), line1...), line2...), line3...)
+	f.Add(journal)
+	f.Add(line1)
+	// Torn tail: the crash-mid-append footprint.
+	f.Add(journal[:len(journal)-7])
+	// The reduced index of that journal.
+	idx, err := encodeIndex(reduceJournal([]JournalRecord{ing, ing2, gc}).index())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(idx)
+	// Wrong version, unknown op, bare junk, empty.
+	f.Add([]byte(`{"v":99,"op":"ingest","sum":"x","sig":"y"}` + "\n"))
+	f.Add([]byte(`{"v":1,"op":"shred","sum":"x"}` + "\n"))
+	f.Add([]byte(`{"v":1,"op":"gc"}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeIndex(data)
+
+		strict, serr := DecodeJournal(bytes.NewReader(data))
+		tolerant, torn, terr := decodeJournalLines(bytes.NewReader(data), true)
+		if serr == nil {
+			if terr != nil {
+				t.Fatalf("strict decode accepted what tolerant rejected: %v", terr)
+			}
+			if !torn && len(tolerant) != len(strict) {
+				t.Fatalf("tolerant dropped %d records from an untorn journal", len(strict)-len(tolerant))
+			}
+
+			// Reduction fixed point: reduce → encode → decode → encode
+			// must be byte-stable.
+			first, err := encodeIndex(reduceJournal(strict).index())
+			if err != nil {
+				t.Fatalf("valid journal fails to encode: %v", err)
+			}
+			parsed, err := DecodeIndex(first)
+			if err != nil {
+				t.Fatalf("encoded index fails to re-decode: %v", err)
+			}
+			second, err := encodeIndex(parsed)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("index encode is not a fixed point:\n%s\nvs\n%s", first, second)
+			}
+		}
+
+		// Every record either scanner returns must re-encode as a valid
+		// single journal line that parses back.
+		for i := range tolerant {
+			line, err := encodeJournal(&tolerant[i])
+			if err != nil {
+				t.Fatalf("accepted record %d fails to re-encode: %v", i, err)
+			}
+			back, err := DecodeJournal(bytes.NewReader(line))
+			if err != nil || len(back) != 1 {
+				t.Fatalf("re-encoded record %d fails to re-decode: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,254 @@
+// Package scenario re-runs the example workloads (examples/quickstart,
+// examples/crossmachine, examples/deadlock) in-process and hands back
+// the snaps and mapfiles they produce. The examples double as the
+// repository's fleet simulator: the VM is deterministic, so every
+// re-run reproduces byte-identical snaps — which is exactly what the
+// warehouse's signature-stability and dedup guarantees are tested
+// against (and what tools/gensnaps commits under snaps/).
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"traceback/internal/core"
+	"traceback/internal/minic"
+	"traceback/internal/module"
+	"traceback/internal/recon"
+	"traceback/internal/service"
+	"traceback/internal/snap"
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+)
+
+// Built is one scenario's output.
+type Built struct {
+	Name  string
+	Snaps []*snap.Snap
+	Maps  []*module.MapFile
+}
+
+// Root locates the repository root (the directory holding go.mod) by
+// walking up from the current directory, so scenarios can read the
+// examples' MiniC sources whether the caller is a test (cwd = package
+// dir) or a tool run from the repo root.
+func Root() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("scenario: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func compile(root, name, file, relPath string) (*module.Module, *core.Result, error) {
+	src, err := os.ReadFile(filepath.Join(root, relPath))
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+	mod, err := minic.Compile(name, file, string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mod, res, nil
+}
+
+// Quickstart reproduces examples/quickstart: a latent divide-by-zero
+// triggered in production mode, snapped at the first-chance exception.
+func Quickstart() (*Built, error) {
+	root, err := Root()
+	if err != nil {
+		return nil, err
+	}
+	_, res, err := compile(root, "app", "app.mc", "examples/quickstart/app.mc")
+	if err != nil {
+		return nil, err
+	}
+	world := vm.NewWorld(1)
+	machine := world.NewMachine("prod-host", 0)
+	proc, rt, err := tbrt.NewProcess(machine, "app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := proc.Load(res.Module); err != nil {
+		return nil, err
+	}
+	if _, err := proc.StartMain(1); err != nil {
+		return nil, err
+	}
+	vm.RunProcess(proc, 1_000_000)
+	if len(rt.Snaps()) == 0 {
+		return nil, fmt.Errorf("scenario: quickstart produced no snap")
+	}
+	return &Built{Name: "quickstart", Snaps: rt.Snaps(), Maps: []*module.MapFile{res.Map}}, nil
+}
+
+// CrossMachine reproduces examples/crossmachine: a pet-store server
+// faulting inside a string library while serving a client on another
+// machine; both sides' post-mortem snaps are returned (the server's
+// exception snap too, if taken).
+func CrossMachine() (*Built, error) {
+	root, err := Root()
+	if err != nil {
+		return nil, err
+	}
+	_, strlibRes, err := compile(root, "strlib", "strlib.c", "examples/crossmachine/strlib.mc")
+	if err != nil {
+		return nil, err
+	}
+	_, serverRes, err := compile(root, "server", "server.c", "examples/crossmachine/server.mc")
+	if err != nil {
+		return nil, err
+	}
+	_, clientRes, err := compile(root, "client", "client.c", "examples/crossmachine/client.mc")
+	if err != nil {
+		return nil, err
+	}
+
+	world := vm.NewWorld(6)
+	clientBox := world.NewMachine("client-box", 0)
+	serverBox := world.NewMachine("server-box", 7500)
+	serverProc, serverRT, err := tbrt.NewProcess(serverBox, "petstore", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := serverProc.Load(strlibRes.Module); err != nil {
+		return nil, err
+	}
+	if _, err := serverProc.Load(serverRes.Module); err != nil {
+		return nil, err
+	}
+	clientProc, clientRT, err := tbrt.NewProcess(clientBox, "petclient", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := clientProc.Load(clientRes.Module); err != nil {
+		return nil, err
+	}
+	world.RegisterEndpoint(9, serverProc)
+	if _, err := serverProc.StartMain(0); err != nil {
+		return nil, err
+	}
+	if _, err := clientProc.StartMain(0); err != nil {
+		return nil, err
+	}
+	world.Run(5_000_000, func() bool { return clientProc.Exited && serverProc.Exited })
+
+	b := &Built{
+		Name: "crossmachine",
+		Maps: []*module.MapFile{strlibRes.Map, serverRes.Map, clientRes.Map},
+	}
+	// The server snapped at its first-chance SIGSEGV during the run;
+	// the post-mortem pulls add each side's final state.
+	exc := append([]*snap.Snap(nil), serverRT.Snaps()...)
+	b.Snaps = append(exc, serverRT.PostMortemSnap(), clientRT.PostMortemSnap())
+	return b, nil
+}
+
+// Deadlock reproduces examples/deadlock: a lock-order inversion with
+// no crash, detected by the service heartbeat and snapped as a hang.
+func Deadlock() (*Built, error) {
+	root, err := Root()
+	if err != nil {
+		return nil, err
+	}
+	_, res, err := compile(root, "bank", "bank.mc", "examples/deadlock/bank.mc")
+	if err != nil {
+		return nil, err
+	}
+	world := vm.NewWorld(4)
+	mach := world.NewMachine("prod-host", 0)
+	proc, rt, err := tbrt.NewProcess(mach, "bank", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := proc.Load(res.Module); err != nil {
+		return nil, err
+	}
+	svc := service.New(mach, 100_000)
+	svc.Register(rt)
+	if _, err := proc.StartMain(0); err != nil {
+		return nil, err
+	}
+	world.Run(200_000, func() bool { return proc.Exited })
+	mach.SetClock(mach.Clock() + 200_000)
+	svc.CheckStatus()
+	if len(svc.Snaps) == 0 {
+		return nil, fmt.Errorf("scenario: deadlock hang not detected")
+	}
+	return &Built{Name: "deadlock", Snaps: svc.Snaps, Maps: []*module.MapFile{res.Map}}, nil
+}
+
+// All runs every scenario and merges the outputs.
+func All() ([]*Built, error) {
+	var out []*Built
+	for _, fn := range []func() (*Built, error){Quickstart, CrossMachine, Deadlock} {
+		b, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// MapSet bundles a scenario set's mapfiles into one resolver.
+func MapSet(builts ...*Built) *recon.MapSet {
+	var maps []*module.MapFile
+	for _, b := range builts {
+		maps = append(maps, b.Maps...)
+	}
+	return recon.NewMapSet(maps...)
+}
+
+// Write persists a scenario's snaps (gzip) and mapfiles into dir and
+// dir/maps, with deterministic names, returning the snap paths.
+func (b *Built) Write(dir string) ([]string, error) {
+	mapDir := filepath.Join(dir, "maps")
+	if err := os.MkdirAll(mapDir, 0o755); err != nil {
+		return nil, err
+	}
+	for _, mf := range b.Maps {
+		f, err := os.Create(filepath.Join(mapDir, mf.ModuleName+".map.json"))
+		if err != nil {
+			return nil, err
+		}
+		if err := mf.Save(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	var paths []string
+	for i, s := range b.Snaps {
+		p := filepath.Join(dir, fmt.Sprintf("%s-%s-%d.snap.json.gz", b.Name, s.Process, i+1))
+		f, err := os.Create(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.SaveCompressed(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -9,6 +9,8 @@ package service
 import (
 	"fmt"
 
+	"traceback/internal/archive"
+	"traceback/internal/recon"
 	"traceback/internal/snap"
 	"traceback/internal/tbrt"
 	"traceback/internal/telemetry"
@@ -32,15 +34,24 @@ type Service struct {
 	// Snaps collects snaps the service triggered.
 	Snaps []*snap.Snap
 
+	// arch, when set, receives every service-triggered snap (hang,
+	// external, group) so they accumulate in the warehouse instead of
+	// only in Snaps. archMaps fingerprints them; nil maps degrade to
+	// weak metadata signatures.
+	arch     *archive.Archive
+	archMaps recon.MapResolver
+
 	// Self-telemetry (svc_ prefix) plus a flight recorder for
 	// heartbeat misses.
-	reg        *telemetry.Registry
-	rec        *telemetry.Recorder
-	verify     *verify.Metrics
-	heartbeats *telemetry.Counter
-	hangs      *telemetry.Counter
-	externals  *telemetry.Counter
-	groupSnaps *telemetry.Counter
+	reg         *telemetry.Registry
+	rec         *telemetry.Recorder
+	verify      *verify.Metrics
+	heartbeats  *telemetry.Counter
+	hangs       *telemetry.Counter
+	externals   *telemetry.Counter
+	groupSnaps  *telemetry.Counter
+	archived    *telemetry.Counter
+	archiveErrs *telemetry.Counter
 }
 
 // New creates the machine's service process.
@@ -64,7 +75,37 @@ func (s *Service) bindTelemetry(reg *telemetry.Registry) {
 	s.hangs = reg.Counter("svc_hangs_total", "processes declared hung by heartbeat timeout")
 	s.externals = reg.Counter("svc_external_snaps_total", "external snaps triggered by name")
 	s.groupSnaps = reg.Counter("svc_group_snaps_total", "group-propagated snaps taken")
+	s.archived = reg.Counter("svc_archived_total", "service-triggered snaps ingested into the warehouse")
+	s.archiveErrs = reg.Counter("svc_archive_errors_total", "warehouse ingests that failed")
 	s.verify = verify.NewMetrics(reg)
+}
+
+// SetArchive routes every snap the service triggers into the
+// warehouse. maps fingerprints them via reconstruction; pass nil to
+// archive under weak metadata signatures (still bucketed, still
+// deduplicated, just coarser).
+func (s *Service) SetArchive(a *archive.Archive, maps recon.MapResolver) {
+	s.arch = a
+	s.archMaps = maps
+}
+
+// collect is the single funnel for service-triggered snaps: remember
+// it, and archive it when a warehouse is attached.
+func (s *Service) collect(sn *snap.Snap) {
+	if sn == nil {
+		return
+	}
+	s.Snaps = append(s.Snaps, sn)
+	if s.arch == nil {
+		return
+	}
+	sig := archive.SignatureOf(sn, s.archMaps)
+	if _, err := s.arch.Ingest(sn, sig); err != nil {
+		s.archiveErrs.Inc()
+		s.rec.Record(s.machine.Clock(), "archive-error", err.Error())
+		return
+	}
+	s.archived.Inc()
 }
 
 // ObserveVerification records a module verification outcome in the
@@ -120,9 +161,7 @@ func (s *Service) CheckStatus() []string {
 		s.hangs.Inc()
 		s.rec.Record(now, "heartbeat-miss", p.Name)
 		if rt.PolicyHang() {
-			if sn := rt.TakeSnap(tbrt.SnapReason{Kind: "hang", Detail: "heartbeat timeout"}); sn != nil {
-				s.Snaps = append(s.Snaps, sn)
-			}
+			s.collect(rt.TakeSnap(tbrt.SnapReason{Kind: "hang", Detail: "heartbeat timeout"}))
 			s.snapGroupOf(p.Name)
 		}
 	}
@@ -144,7 +183,7 @@ func (s *Service) ExternalSnap(name string) (*snap.Snap, error) {
 			sn = rt.TakeSnap(tbrt.SnapReason{Kind: "external", Detail: "snap utility"})
 		}
 		if sn != nil {
-			s.Snaps = append(s.Snaps, sn)
+			s.collect(sn)
 			s.externals.Inc()
 		}
 		return sn, nil
@@ -183,7 +222,7 @@ func (s *Service) snapGroupOf(name string) {
 				for _, rt := range svc.runtimes {
 					if rt.Proc().Name == n && !rt.Proc().Exited {
 						if sn := rt.TakeSnap(tbrt.SnapReason{Kind: "group", Detail: "fault in " + name}); sn != nil {
-							s.Snaps = append(s.Snaps, sn)
+							s.collect(sn)
 							s.groupSnaps.Inc()
 						}
 					}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"traceback/internal/archive"
 	"traceback/internal/core"
 	"traceback/internal/minic"
 	"traceback/internal/recon"
@@ -248,5 +249,98 @@ func TestCrossMachineGroupSnap(t *testing.T) {
 	}
 	if !found {
 		t.Error("cross-machine group snap did not reach the peer")
+	}
+}
+
+// TestServiceArchivesTriggeredSnaps: with a warehouse attached, every
+// snap the service triggers (hang, external) lands in the archive
+// under a reconstructed — not weak — signature, and re-triggering the
+// same fault grows the bucket, not the blob set.
+func TestServiceArchivesTriggeredSnaps(t *testing.T) {
+	res := buildApp(t, hangSrc)
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	p, rt, err := tbrt.NewProcess(mach, "hung-app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	svc := New(mach, 10_000)
+	svc.Register(rt)
+
+	arch, err := archive.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	svc.SetArchive(arch, recon.NewMapSet(res.Map))
+
+	w.Run(1000, func() bool { return p.Exited })
+	mach.SetClock(mach.Clock() + 50_000)
+	if hung := svc.CheckStatus(); len(hung) != 1 {
+		t.Fatalf("hung = %v", hung)
+	}
+	if arch.NumBlobs() != 1 {
+		t.Fatalf("hang snap not archived: %d blobs", arch.NumBlobs())
+	}
+	hangBucket := arch.Buckets()[0]
+	if hangBucket.Weak {
+		t.Errorf("hang snap archived under weak signature %q", hangBucket.Title)
+	}
+
+	// An external snap of the same (still hung) process is a distinct
+	// snap — same process, later time — and must archive too.
+	if _, err := svc.ExternalSnap("hung-app"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.Snaps); got != 2 {
+		t.Fatalf("%d service snaps, want 2", got)
+	}
+	var total uint64
+	for _, b := range arch.Buckets() {
+		total += b.Count
+	}
+	if total != 2 {
+		t.Errorf("archive holds %d occurrences, want 2", total)
+	}
+
+	// The counter agrees with the archive.
+	var sb strings.Builder
+	if err := svc.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "svc_archived_total 2") {
+		t.Errorf("svc_archived_total != 2:\n%s", sb.String())
+	}
+}
+
+// TestServiceArchiveNilMapsDegradesToWeak: an attached warehouse with
+// no map resolver still preserves evidence, bucketed weakly.
+func TestServiceArchiveNilMapsDegradesToWeak(t *testing.T) {
+	res := buildApp(t, hangSrc)
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	p, rt, err := tbrt.NewProcess(mach, "hung-app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	svc := New(mach, 10_000)
+	svc.Register(rt)
+	arch, err := archive.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	svc.SetArchive(arch, nil)
+
+	w.Run(1000, nil)
+	mach.SetClock(mach.Clock() + 50_000)
+	svc.CheckStatus()
+	buckets := arch.Buckets()
+	if len(buckets) != 1 || !buckets[0].Weak {
+		t.Fatalf("buckets = %+v, want one weak bucket", buckets)
 	}
 }

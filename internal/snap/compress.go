@@ -3,6 +3,7 @@ package snap
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -11,6 +12,22 @@ import (
 // factor of 10 or more for ease of archiving or transmission": DAG
 // records repeat heavily (hot loops re-record the same header word).
 // SaveCompressed/LoadAuto provide that archival form.
+
+// Load-error classes, matchable with errors.Is. Archival tooling
+// (the snap warehouse, batch reconstruction) dispatches on these to
+// tell a corrupt transfer from an empty file from a snap with junk
+// appended, instead of pattern-matching raw decoder messages.
+var (
+	// ErrEmpty: the input held no bytes at all.
+	ErrEmpty = errors.New("empty snap input")
+	// ErrTruncated: the input ended mid-stream (cut-short gzip body or
+	// JSON document — the footprint of an interrupted copy).
+	ErrTruncated = errors.New("truncated snap input")
+	// ErrTrailingData: a complete gzip member was followed by further
+	// bytes (a second member or appended garbage); the snap archival
+	// form is exactly one member.
+	ErrTrailingData = errors.New("trailing data after snap")
+)
 
 // SaveCompressed writes the snap as gzip-compressed JSON.
 func (s *Snap) SaveCompressed(w io.Writer) error {
@@ -26,20 +43,57 @@ func (s *Snap) SaveCompressed(w io.Writer) error {
 }
 
 // LoadAuto reads a snap in either plain-JSON or gzip form, sniffing
-// the magic bytes.
+// the magic bytes. Gzip input must be a single complete member:
+// truncation and trailing garbage are reported as wrapped ErrTruncated
+// / ErrTrailingData rather than raw decoder failures.
 func LoadAuto(r io.Reader) (*Snap, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(2)
-	if err != nil {
+	if err != nil && len(magic) == 0 {
+		if err == io.EOF {
+			return nil, fmt.Errorf("snap: %w", ErrEmpty)
+		}
 		return nil, fmt.Errorf("snap: %w", err)
 	}
-	if magic[0] == 0x1f && magic[1] == 0x8b {
-		zr, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, fmt.Errorf("snap: %w", err)
-		}
-		defer zr.Close()
-		return Load(zr)
+	if len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		return loadGzip(br)
 	}
 	return Load(br)
+}
+
+func loadGzip(br *bufio.Reader) (*Snap, error) {
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", classifyGzipErr(err))
+	}
+	defer zr.Close()
+	// One member only: appended garbage (or a second member) must not
+	// be silently swallowed by gzip's multistream default.
+	zr.Multistream(false)
+	s, err := Load(zr)
+	if err != nil {
+		return nil, fmt.Errorf("snap: gzip member: %w", classifyGzipErr(errors.Unwrap(err)))
+	}
+	// Drain the member to force the trailer (CRC/length) check, which
+	// is where a truncated body surfaces.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("snap: %w", classifyGzipErr(err))
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("snap: %w", ErrTrailingData)
+	}
+	return s, nil
+}
+
+// classifyGzipErr folds the decoder's raw end-of-stream errors into
+// the inspectable ErrTruncated class; anything else (bad header,
+// corrupt flate data, invalid JSON) passes through wrapped as-is.
+func classifyGzipErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w (%v)", ErrTruncated, err)
+	}
+	return err
 }

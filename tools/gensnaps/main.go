@@ -1,0 +1,42 @@
+// gensnaps regenerates the committed example snap fleet under snaps/
+// (and its mapfiles under snaps/maps). The VM is deterministic, so
+// the output is byte-identical on every run — which is exactly what
+// lets the snaps be committed: `tools/storecheck` re-runs the
+// scenarios and requires the fresh snaps to deduplicate onto the
+// committed blobs.
+//
+//	go run ./tools/gensnaps          # writes into snaps/
+//	go run ./tools/gensnaps -out d   # writes into d/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"traceback/internal/scenario"
+)
+
+func main() {
+	out := flag.String("out", "snaps", "directory to write snaps (mapfiles go in <out>/maps)")
+	flag.Parse()
+
+	builts, err := scenario.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gensnaps:", err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, b := range builts {
+		paths, err := b.Write(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gensnaps:", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		total += len(paths)
+	}
+	fmt.Printf("wrote %d snap(s) from %d scenario(s) into %s\n", total, len(builts), *out)
+}
