@@ -97,13 +97,22 @@ type metricsWriter interface {
 	WriteJSON(io.Writer) error
 }
 
+// closeArch folds arch.Close's error — a failed index flush, e.g.
+// disk full writing index.json — into the command's result instead of
+// discarding it, so the process exits nonzero with a diagnostic.
+func closeArch(arch *archive.Archive, err *error) {
+	if cerr := arch.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
+}
+
 // ingest reconstructs every input snap on the parallel pipeline (one
 // shared mapfile cache across the whole batch), fingerprints each
 // crash, and folds them into the warehouse with -jobs concurrent
 // ingest workers. Sources that cannot be reconstructed (mapfiles
 // missing) still archive under a weak metadata signature; sources
 // that cannot even be loaded are reported and skipped.
-func (c *cli) ingest(args []string) error {
+func (c *cli) ingest(args []string) (err error) {
 	fs := flag.NewFlagSet("tbstore ingest", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
 	mapsDir := fs.String("maps", ".", "directory containing *.map.json mapfiles")
@@ -131,7 +140,7 @@ func (c *cli) ingest(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer arch.Close()
+	defer closeArch(arch, &err)
 
 	sources := make([]recon.Source, len(paths))
 	for i, p := range paths {
@@ -208,7 +217,7 @@ func ingestOne(arch *archive.Archive, res *recon.Result) (archive.IngestResult, 
 	return arch.Ingest(s, archive.SignatureOf(s, nil))
 }
 
-func (c *cli) ls(args []string) error {
+func (c *cli) ls(args []string) (err error) {
 	fs := flag.NewFlagSet("tbstore ls", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
 	verbose := fs.Bool("v", false, "also list each bucket's blobs")
@@ -219,7 +228,7 @@ func (c *cli) ls(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer arch.Close()
+	defer closeArch(arch, &err)
 	buckets := arch.Buckets()
 	for _, b := range buckets {
 		fmt.Fprintf(c.stdout, "%s  x%-4d %s  hosts=%s\n",
@@ -237,7 +246,7 @@ func (c *cli) ls(args []string) error {
 }
 
 // top is the triage view: buckets by occurrence count.
-func (c *cli) top(args []string) error {
+func (c *cli) top(args []string) (err error) {
 	fs := flag.NewFlagSet("tbstore top", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
 	n := fs.Int("n", 10, "buckets to show")
@@ -248,7 +257,7 @@ func (c *cli) top(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer arch.Close()
+	defer closeArch(arch, &err)
 	buckets := arch.Buckets()
 	if *n > 0 && len(buckets) > *n {
 		buckets = buckets[:*n]
@@ -263,7 +272,7 @@ func (c *cli) top(args []string) error {
 // show reconstructs a bucket's representative snap on demand. The
 // trace on stdout is byte-identical to `tbrecon` over the same snap;
 // everything else goes to stderr.
-func (c *cli) show(args []string) error {
+func (c *cli) show(args []string) (err error) {
 	fs := flag.NewFlagSet("tbstore show", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
 	mapsDir := fs.String("maps", ".", "directory containing *.map.json mapfiles")
@@ -278,7 +287,7 @@ func (c *cli) show(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer arch.Close()
+	defer closeArch(arch, &err)
 	b, err := arch.Bucket(fs.Arg(0))
 	if err != nil {
 		return err
@@ -319,7 +328,7 @@ func (c *cli) show(args []string) error {
 	return nil
 }
 
-func (c *cli) gc(args []string) error {
+func (c *cli) gc(args []string) (err error) {
 	fs := flag.NewFlagSet("tbstore gc", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
 	maxAge := fs.Uint64("max-age", 0, "evict blobs older than newest-N (snap-time cycles; 0 = no limit)")
@@ -333,7 +342,7 @@ func (c *cli) gc(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer arch.Close()
+	defer closeArch(arch, &err)
 	res, err := arch.GC(archive.GCPolicy{
 		MaxAge: *maxAge, MaxBlobs: *maxBlobs, MaxBytes: *maxBytes, KeepReps: *keepReps,
 	})

@@ -16,6 +16,7 @@ import (
 	"compress/gzip"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -80,8 +81,8 @@ type metrics struct {
 
 // Open opens (creating if needed) the archive at root and replays its
 // journal. An unterminated final journal line — the footprint of a
-// crash mid-append — is dropped silently; everything before it is
-// intact, and the matching blob is simply re-ingestable.
+// crash mid-append — is dropped and truncated away; everything before
+// it is intact, and the matching blob is simply re-ingestable.
 func Open(root string) (*Archive, error) { return OpenWith(root, Options{}) }
 
 // OpenWith opens the archive with explicit options.
@@ -92,10 +93,19 @@ func OpenWith(root string, opts Options) (*Archive, error) {
 	jpath := filepath.Join(root, journalName)
 	st := newState()
 	if f, err := os.Open(jpath); err == nil {
-		recs, _, derr := decodeJournalLines(f, true)
+		recs, goodLen, torn, derr := decodeJournalLines(f, true)
 		f.Close()
 		if derr != nil {
 			return nil, fmt.Errorf("archive: replaying %s: %w", jpath, derr)
+		}
+		if torn {
+			// Cut the torn tail off the file, not just the replay: the
+			// journal reopens with O_APPEND below, and appending after a
+			// partial line would glue two records into one invalid line
+			// that every later Open rejects.
+			if terr := os.Truncate(jpath, goodLen); terr != nil {
+				return nil, fmt.Errorf("archive: truncating torn journal tail: %w", terr)
+			}
 		}
 		st = reduceJournal(recs)
 	} else if !os.IsNotExist(err) {
@@ -190,11 +200,30 @@ func (a *Archive) Ingest(s *snap.Snap, sig Signature) (IngestResult, error) {
 	if err != nil {
 		return IngestResult{}, err
 	}
-	dup, size, err := a.ensureBlob(sum, s, canonical)
+	dup, size, err := a.ensureBlob(sum, canonical)
 	if err != nil {
 		return IngestResult{}, err
 	}
 
+	a.mu.Lock()
+	if _, resident := a.st.blobs[sum]; dup && !resident {
+		// The dedup hit may be stale: between ensureBlob's check and
+		// this critical section a GC sweep — which journals, drops
+		// state, and unlinks all under a.mu — can have condemned and
+		// removed the blob. Re-validate on disk and rewrite while
+		// holding the lock: the race is rare enough that the write
+		// under a.mu is fine, and holding it keeps the next sweep from
+		// condemning the blob before the journal records this ingest.
+		if _, serr := os.Stat(a.blobPath(sum)); serr != nil {
+			sz, werr := a.writeBlob(a.blobPath(sum), canonical)
+			if werr != nil {
+				a.mu.Unlock()
+				return IngestResult{}, werr
+			}
+			dup, size = false, sz
+			a.met.bytesOut.Add(uint64(sz))
+		}
+	}
 	rec := JournalRecord{
 		V: formatVersion, Op: OpIngest, Sum: sum,
 		Sig: sig.ID, Title: sig.Title, Weak: sig.Weak,
@@ -203,10 +232,9 @@ func (a *Archive) Ingest(s *snap.Snap, sig Signature) (IngestResult, error) {
 	}
 	line, err := encodeJournal(&rec)
 	if err != nil {
+		a.mu.Unlock()
 		return IngestResult{}, err
 	}
-
-	a.mu.Lock()
 	if _, werr := a.journal.Write(line); werr != nil {
 		a.mu.Unlock()
 		return IngestResult{}, fmt.Errorf("archive: journal append: %w", werr)
@@ -228,7 +256,7 @@ func (a *Archive) Ingest(s *snap.Snap, sig Signature) (IngestResult, error) {
 // The first caller for a given sum compresses and writes (tmp file +
 // rename, so a crash never leaves a partial blob at the final path);
 // concurrent callers for the same sum wait for it and report a dup.
-func (a *Archive) ensureBlob(sum string, s *snap.Snap, canonical []byte) (dup bool, size int64, err error) {
+func (a *Archive) ensureBlob(sum string, canonical []byte) (dup bool, size int64, err error) {
 	path := a.blobPath(sum)
 	a.fmu.Lock()
 	if c, ok := a.flight[sum]; ok {
@@ -378,7 +406,7 @@ func (a *Archive) RebuildIndexBytes() ([]byte, error) {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
 	defer f.Close()
-	recs, _, err := decodeJournalLines(f, true)
+	recs, _, _, err := decodeJournalLines(f, true)
 	if err != nil {
 		return nil, err
 	}
@@ -458,20 +486,28 @@ func (a *Archive) GC(pol GCPolicy) (GCResult, error) {
 		return GCResult{}, fmt.Errorf("archive: journal append: %w", werr)
 	}
 	a.st.apply(&rec)
-	a.mu.Unlock()
 
-	// Blob unlink after the journal records the decision: a crash
+	// Blob unlink after the journal records the decision (a crash
 	// between the two leaves only an already-condemned blob behind,
-	// which replay removes from the index anyway.
+	// which replay removes from the index anyway) but still under
+	// a.mu, so an ingest that stat'd one of these blobs alive cannot
+	// journal a reference to it before it disappears — Ingest
+	// re-validates its dedup hit under the same lock. Unlink failures
+	// do not stop the sweep: every victim is already journaled as
+	// removed and gone from the state, so skipping the rest would leak
+	// them permanently (planGC can never select them again).
+	var unlinkErrs []error
 	for _, sum := range sums {
 		if err := os.Remove(a.blobPath(sum)); err != nil && !os.IsNotExist(err) {
-			return res, fmt.Errorf("archive: %w", err)
+			unlinkErrs = append(unlinkErrs, fmt.Errorf("archive: %w", err))
 		}
 	}
+	a.mu.Unlock()
+
 	a.met.gcRuns.Inc()
 	a.met.gcRemoved.Add(uint64(res.Removed))
 	a.rec.Record(0, "gc", fmt.Sprintf("removed %d blob(s), %d bytes", res.Removed, res.Bytes))
-	return res, nil
+	return res, errors.Join(unlinkErrs...)
 }
 
 // planGC selects victims under a.mu.

@@ -194,6 +194,102 @@ func TestConcurrentIngestMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestIngestRevalidatesStaleDedup pins the dedup-vs-GC interleaving
+// deterministically: ensureBlob reports a dup (here forced through a
+// pre-seeded completed flight entry, as if another ingest had just
+// written the blob) but by the time the journal lock is taken the
+// blob is neither in the state nor on disk — a GC sweep got between
+// the two. Ingest must detect the stale hit and rewrite the blob
+// before journaling a reference to it.
+func TestIngestRevalidatesStaleDedup(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	s := mkSnap("h", 1)
+	sum, _, err := ChecksumSnap(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &flightCall{done: make(chan struct{}), size: 123}
+	close(c.done)
+	a.flight[sum] = c
+
+	r, err := a.Ingest(s, sigFor("aa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(a.flight, sum)
+	if r.Dup {
+		t.Error("stale dedup hit reported as dup; blob was gone")
+	}
+	if _, err := os.Stat(a.blobPath(sum)); err != nil {
+		t.Errorf("blob not rewritten after stale dedup: %v", err)
+	}
+	if _, err := a.LoadSnap(sum); err != nil {
+		t.Errorf("ingested snap unloadable: %v", err)
+	}
+}
+
+// TestConcurrentIngestGCKeepsIndexResident hammers ingest of a small
+// recurring snap set against sweeps that evict almost everything. An
+// ingest can dedup onto a blob a concurrent sweep is condemning; the
+// archive must resolve that race so the final index never references
+// a blob that is gone from disk.
+func TestConcurrentIngestGCKeepsIndexResident(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := a.Ingest(mkSnap("h", i%3), sigFor(fmt.Sprintf("s%d", i%3))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := a.GC(GCPolicy{MaxBlobs: 1}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	for _, b := range a.Buckets() {
+		for _, ref := range b.Snaps {
+			if _, err := os.Stat(a.blobPath(ref.Sum)); err != nil {
+				t.Errorf("index references missing blob %s: %v", ref.Sum[:12], err)
+			}
+		}
+	}
+	live, err := a.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := a.RebuildIndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live, rebuilt) {
+		t.Error("journal rebuild differs from live index after ingest/gc races")
+	}
+}
+
 func TestJournalRebuildAndReopen(t *testing.T) {
 	dir := t.TempDir()
 	a, err := Open(dir)
@@ -260,13 +356,39 @@ func TestJournalRebuildAndReopen(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open with torn tail: %v", err)
 	}
-	defer a3.Close()
 	tolerant, err := a3.IndexBytes()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(tolerant, live) {
 		t.Error("torn journal tail changed the replayed index")
+	}
+
+	// The torn tail must be truncated away, not just skipped on replay:
+	// the journal reopens with O_APPEND, so a surviving partial line
+	// would glue onto the next ingest's record and leave the journal
+	// permanently unparseable.
+	if _, err := a3.Ingest(mkSnap("h", 9), sigFor("s9")); err != nil {
+		t.Fatal(err)
+	}
+	afterCrash, err := a3.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a4, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after post-crash ingest: %v", err)
+	}
+	defer a4.Close()
+	reopened2, err := a4.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reopened2, afterCrash) {
+		t.Error("post-crash ingest lost on reopen")
 	}
 }
 

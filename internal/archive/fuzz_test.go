@@ -61,7 +61,13 @@ func FuzzArchiveIndex(f *testing.F) {
 		_, _ = DecodeIndex(data)
 
 		strict, serr := DecodeJournal(bytes.NewReader(data))
-		tolerant, torn, terr := decodeJournalLines(bytes.NewReader(data), true)
+		tolerant, goodLen, torn, terr := decodeJournalLines(bytes.NewReader(data), true)
+		if goodLen < 0 || goodLen > int64(len(data)) {
+			t.Fatalf("goodLen %d outside input [0,%d]", goodLen, len(data))
+		}
+		if torn && goodLen < int64(len(data)) && data[goodLen] == '\n' {
+			t.Fatalf("torn journal's good prefix %d stops before a newline", goodLen)
+		}
 		if serr == nil {
 			if terr != nil {
 				t.Fatalf("strict decode accepted what tolerant rejected: %v", terr)

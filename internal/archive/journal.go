@@ -98,43 +98,48 @@ func encodeJournal(r *JournalRecord) ([]byte, error) {
 // a valid record; errors identify the offending line number and wrap
 // ErrJournalSyntax / ErrJournalVersion for errors.Is dispatch.
 func DecodeJournal(r io.Reader) ([]JournalRecord, error) {
-	recs, _, err := decodeJournalLines(r, false)
+	recs, _, _, err := decodeJournalLines(r, false)
 	return recs, err
 }
 
 // decodeJournalLines is the shared scanner. With tolerateTail set, an
 // unterminated final line (the footprint of a crash mid-append under
 // O_APPEND) is dropped rather than rejected; the returned bool
-// reports whether that happened.
-func decodeJournalLines(r io.Reader, tolerateTail bool) ([]JournalRecord, bool, error) {
-	var recs []JournalRecord
+// reports whether that happened. goodLen is the byte length of the
+// newline-terminated prefix — the offset the journal file must be
+// truncated to before appending again, so the next record does not
+// glue onto the torn tail.
+func decodeJournalLines(r io.Reader, tolerateTail bool) (recs []JournalRecord, goodLen int64, torn bool, err error) {
 	br := bufio.NewReader(r)
 	line := 0
 	for {
-		raw, err := br.ReadBytes('\n')
-		if err != nil && err != io.EOF {
-			return recs, false, fmt.Errorf("archive: journal read: %w", err)
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return recs, goodLen, false, fmt.Errorf("archive: journal read: %w", rerr)
 		}
 		if len(raw) > 0 {
 			line++
 			complete := raw[len(raw)-1] == '\n'
 			if !complete && tolerateTail {
-				return recs, true, nil
+				return recs, goodLen, true, nil
 			}
 			trimmed := bytes.TrimSpace(raw)
 			if len(trimmed) > 0 {
 				var rec JournalRecord
 				if jerr := json.Unmarshal(trimmed, &rec); jerr != nil {
-					return recs, false, fmt.Errorf("%w: line %d: %v", ErrJournalSyntax, line, jerr)
+					return recs, goodLen, false, fmt.Errorf("%w: line %d: %v", ErrJournalSyntax, line, jerr)
 				}
 				if verr := rec.validate(); verr != nil {
-					return recs, false, fmt.Errorf("archive: journal line %d: %w", line, verr)
+					return recs, goodLen, false, fmt.Errorf("archive: journal line %d: %w", line, verr)
 				}
 				recs = append(recs, rec)
 			}
+			if complete {
+				goodLen += int64(len(raw))
+			}
 		}
-		if err == io.EOF {
-			return recs, false, nil
+		if rerr == io.EOF {
+			return recs, goodLen, false, nil
 		}
 	}
 }

@@ -72,7 +72,7 @@ func loadGzip(br *bufio.Reader) (*Snap, error) {
 	zr.Multistream(false)
 	s, err := Load(zr)
 	if err != nil {
-		return nil, fmt.Errorf("snap: gzip member: %w", classifyGzipErr(errors.Unwrap(err)))
+		return nil, fmt.Errorf("gzip member: %w", classifyGzipErr(err))
 	}
 	// Drain the member to force the trailer (CRC/length) check, which
 	// is where a truncated body surfaces.

@@ -62,7 +62,6 @@ func main() {
 	if err != nil {
 		die("%v", err)
 	}
-	defer arch.Close()
 
 	// Round 1: the committed fleet. Everything stores, nothing dups,
 	// every signature is strong.
@@ -134,6 +133,9 @@ func main() {
 	}
 	if !bytes.Equal(onDisk, live) {
 		die("flushed index.json differs from live index")
+	}
+	if err := arch.Close(); err != nil {
+		die("closing store: %v", err)
 	}
 
 	fmt.Printf("store-check ok: %d bucket(s), %d blob(s), %d bytes; journal rebuild byte-identical\n",
