@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check gensnaps
+.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check gensnaps
 
 all: build test
 
@@ -42,8 +42,9 @@ check:
 
 # The CI gate: static analysis, instrumentation verification, the
 # race-detector pass (which subsumes plain `go test`), and the snap
-# warehouse end-to-end check; keep this green before merging.
-ci: vet check test-race store-check
+# warehouse + collection plane end-to-end checks; keep this green
+# before merging.
+ci: vet check test-race store-check collect-check
 
 # Warehouse end-to-end gate: ingest the committed snaps/ fleet plus a
 # fresh re-run of the example scenarios, assert full deduplication and
@@ -52,6 +53,14 @@ ci: vet check test-race store-check
 # relative to the scenarios (fix: make gensnaps, commit the result).
 store-check:
 	$(GO) run ./tools/storecheck
+
+# Collection plane end-to-end gate: push the committed fleet through
+# tbagent→tbcollectd over loopback TCP at ingest concurrency 1/4/16
+# and assert index byte-parity with a direct local ingest, full dedup
+# of replays via the HEAD precheck, journal-rebuild identity, and a
+# graceful daemon drain.
+collect-check:
+	$(GO) run ./tools/collectcheck
 
 # Regenerate the committed example snap fleet (deterministic; only
 # needed when the examples or the instrumentation change).

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"traceback/internal/archive"
+	"traceback/internal/collect"
+	"traceback/internal/snap"
+)
+
+// TestAgentOnceDrainsSpool runs the agent main in -once mode against
+// an in-process daemon and checks the spool empties, the snap lands,
+// and -metrics writes agent telemetry without polluting stdout.
+func TestAgentOnceDrainsSpool(t *testing.T) {
+	arch, err := archive.Open(filepath.Join(t.TempDir(), "wh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	srv := collect.NewServer(arch, collect.ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spool := t.TempDir()
+	sn := &snap.Snap{Host: "m1", Process: "app", PID: 7, Reason: "exception SIGSEGV", Time: 42}
+	if _, err := collect.Spool(spool, sn); err != nil {
+		t.Fatal(err)
+	}
+
+	mfile := filepath.Join(t.TempDir(), "agent.prom")
+	var stdout, stderr bytes.Buffer
+	sigs := make(chan os.Signal, 1)
+	code := run([]string{"-spool", spool, "-server", ts.URL, "-once", "-metrics", mfile},
+		&stdout, &stderr, sigs)
+	if code != 0 {
+		t.Fatalf("agent exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "spool drained") {
+		t.Errorf("stdout: %q", stdout.String())
+	}
+	if arch.NumBlobs() != 1 {
+		t.Errorf("snap did not land: %d blob(s)", arch.NumBlobs())
+	}
+	entries, err := os.ReadDir(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spool still holds %d entr(ies)", len(entries))
+	}
+	prom, err := os.ReadFile(mfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "coll_agent_uploads_total 1") {
+		t.Errorf("agent metrics missing upload count:\n%s", prom)
+	}
+}

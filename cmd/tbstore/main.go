@@ -28,6 +28,7 @@ import (
 	"traceback/internal/archive"
 	"traceback/internal/recon"
 	"traceback/internal/snap"
+	"traceback/internal/telemetry"
 )
 
 func main() {
@@ -95,6 +96,20 @@ type cli struct {
 type metricsWriter interface {
 	WritePrometheus(io.Writer) error
 	WriteJSON(io.Writer) error
+}
+
+// openArch opens the warehouse with a fresh registry bound, so every
+// subcommand — not just ingest — exposes arch_* self-telemetry via
+// -metrics. Metrics go to the -metrics destination only; stdout
+// output is byte-identical with and without the flag.
+func (c *cli) openArch() (*archive.Archive, error) {
+	reg := telemetry.New()
+	arch, err := archive.OpenWith(c.store, archive.Options{Telemetry: reg})
+	if err != nil {
+		return nil, err
+	}
+	c.reg = reg
+	return arch, nil
 }
 
 // closeArch folds arch.Close's error — a failed index flush, e.g.
@@ -214,7 +229,7 @@ func ingestOne(arch *archive.Archive, res *recon.Result) (archive.IngestResult, 
 	if err != nil {
 		return archive.IngestResult{}, res.Err
 	}
-	return arch.Ingest(s, archive.SignatureOf(s, nil))
+	return arch.Ingest(s, archive.SignSnap(s, nil))
 }
 
 func (c *cli) ls(args []string) (err error) {
@@ -224,7 +239,7 @@ func (c *cli) ls(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	arch, err := archive.Open(c.store)
+	arch, err := c.openArch()
 	if err != nil {
 		return err
 	}
@@ -253,7 +268,7 @@ func (c *cli) top(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	arch, err := archive.Open(c.store)
+	arch, err := c.openArch()
 	if err != nil {
 		return err
 	}
@@ -283,7 +298,7 @@ func (c *cli) show(args []string) (err error) {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("show: need one bucket signature (prefix ok)")
 	}
-	arch, err := archive.Open(c.store)
+	arch, err := c.openArch()
 	if err != nil {
 		return err
 	}
@@ -338,7 +353,7 @@ func (c *cli) gc(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	arch, err := archive.Open(c.store)
+	arch, err := c.openArch()
 	if err != nil {
 		return err
 	}

@@ -217,3 +217,68 @@ func TestUnknownCommand(t *testing.T) {
 		t.Errorf("no usage hint:\n%s", errBuf.String())
 	}
 }
+
+// TestMetricsFlagKeepsStdoutClean: every subcommand accepts -metrics,
+// writes its telemetry only to the chosen destination, and leaves
+// stdout byte-identical to a run without the flag.
+func TestMetricsFlagKeepsStdoutClean(t *testing.T) {
+	snapDir, mapsDir := buildFleet(t)
+	store := filepath.Join(t.TempDir(), "wh")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-store", store, "ingest", "-maps", mapsDir, snapDir}, &out, &errb); code != 0 {
+		t.Fatalf("ingest exited %d: %s", code, errb.String())
+	}
+
+	for _, sub := range [][]string{
+		{"ls", "-v"},
+		{"top", "-n", "3"},
+		{"gc", "-max-blobs", "1000"},
+	} {
+		name := sub[0]
+		var plain, plainErr bytes.Buffer
+		if code := run(append([]string{"-store", store}, sub...), &plain, &plainErr); code != 0 {
+			t.Fatalf("%s exited %d: %s", name, code, plainErr.String())
+		}
+
+		mfile := filepath.Join(t.TempDir(), name+".prom")
+		var metered, meteredErr bytes.Buffer
+		args := append([]string{"-store", store, "-metrics", mfile}, sub...)
+		if code := run(args, &metered, &meteredErr); code != 0 {
+			t.Fatalf("%s -metrics exited %d: %s", name, code, meteredErr.String())
+		}
+		if plain.String() != metered.String() {
+			t.Errorf("%s: -metrics changed stdout:\n--- without ---\n%s--- with ---\n%s",
+				name, plain.String(), metered.String())
+		}
+		prom, err := os.ReadFile(mfile)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(prom), "arch_") {
+			t.Errorf("%s: metrics file carries no arch_ telemetry:\n%s", name, prom)
+		}
+	}
+
+	// show writes bucket metadata to stderr and the trace to stdout;
+	// -metrics must leave both streams' stdout bytes untouched.
+	var lsOut, lsErr bytes.Buffer
+	if code := run([]string{"-store", store, "ls"}, &lsOut, &lsErr); code != 0 {
+		t.Fatalf("ls exited %d: %s", code, lsErr.String())
+	}
+	sig := strings.Fields(lsOut.String())[0]
+	var plainShow, e1 bytes.Buffer
+	if code := run([]string{"-store", store, "show", "-maps", mapsDir, sig}, &plainShow, &e1); code != 0 {
+		t.Fatalf("show exited %d: %s", code, e1.String())
+	}
+	mfile := filepath.Join(t.TempDir(), "show.json")
+	var meteredShow, e2 bytes.Buffer
+	if code := run([]string{"-store", store, "-metrics", mfile, "show", "-maps", mapsDir, sig}, &meteredShow, &e2); code != 0 {
+		t.Fatalf("show -metrics exited %d: %s", code, e2.String())
+	}
+	if plainShow.String() != meteredShow.String() {
+		t.Error("show: -metrics changed the trace on stdout")
+	}
+	if doc, err := os.ReadFile(mfile); err != nil || !strings.Contains(string(doc), "arch_") {
+		t.Errorf("show: metrics JSON missing arch_ telemetry (err %v)", err)
+	}
+}

@@ -193,6 +193,22 @@ type IngestResult struct {
 // Safe for concurrent use; concurrent ingest of identical snaps
 // stores exactly one blob and counts every occurrence.
 func (a *Archive) Ingest(s *snap.Snap, sig Signature) (IngestResult, error) {
+	return a.ingest(s, sig, false)
+}
+
+// IngestUnique ingests s only if its content is not already resident:
+// a snap whose checksum matches a stored blob returns Dup without
+// touching the journal. This is the network collection plane's
+// idempotency primitive — an agent that re-uploads after a lost
+// response (or N agents racing on the same crash) lands exactly one
+// journal entry, so retry is always safe. Race-free against
+// concurrent IngestUnique of the same new content: the residency
+// check happens under the same lock that orders journal appends.
+func (a *Archive) IngestUnique(s *snap.Snap, sig Signature) (IngestResult, error) {
+	return a.ingest(s, sig, true)
+}
+
+func (a *Archive) ingest(s *snap.Snap, sig Signature, unique bool) (IngestResult, error) {
 	t0 := time.Now()
 	defer func() { a.met.ingestNanos.Observe(uint64(time.Since(t0))) }()
 
@@ -200,13 +216,25 @@ func (a *Archive) Ingest(s *snap.Snap, sig Signature) (IngestResult, error) {
 	if err != nil {
 		return IngestResult{}, err
 	}
+	if unique {
+		// Fast path: already resident means nothing to write or journal.
+		if ref, ok := a.ref(sum); ok {
+			return IngestResult{Sum: sum, Sig: sig, Dup: true, Bytes: ref.Bytes}, nil
+		}
+	}
 	dup, size, err := a.ensureBlob(sum, canonical)
 	if err != nil {
 		return IngestResult{}, err
 	}
 
 	a.mu.Lock()
-	if _, resident := a.st.blobs[sum]; dup && !resident {
+	if ref, resident := a.st.blobs[sum]; unique && resident {
+		// A concurrent ingest journaled this content between the fast
+		// path and here; this call must not add a second entry.
+		size = ref.Bytes
+		a.mu.Unlock()
+		return IngestResult{Sum: sum, Sig: sig, Dup: true, Bytes: size}, nil
+	} else if dup && !resident {
 		// The dedup hit may be stale: between ensureBlob's check and
 		// this critical section a GC sweep — which journals, drops
 		// state, and unlinks all under a.mu — can have condemned and
@@ -373,6 +401,24 @@ func (a *Archive) Bucket(sigPrefix string) (Bucket, error) {
 		return Bucket{}, fmt.Errorf("archive: no bucket %q", sigPrefix)
 	}
 	return cloneBucket(found), nil
+}
+
+// Has reports whether the blob for sum is resident (stored and not
+// removed by GC) — the dedup precheck the collection daemon answers
+// with HEAD /v1/blob/{sum}.
+func (a *Archive) Has(sum string) bool {
+	_, ok := a.ref(sum)
+	return ok
+}
+
+// ref copies the resident BlobRef for sum, if any.
+func (a *Archive) ref(sum string) (BlobRef, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r, ok := a.st.blobs[sum]; ok {
+		return *r, true
+	}
+	return BlobRef{}, false
 }
 
 // NumBlobs reports resident blob count.

@@ -556,3 +556,137 @@ func TestJournalDecodeErrors(t *testing.T) {
 		t.Errorf("index err = %v, want ErrIndexSyntax", err)
 	}
 }
+
+// TestIngestUniqueIdempotent: re-ingesting identical content through
+// IngestUnique journals exactly once — the collection plane's retry
+// safety — while plain Ingest keeps counting occurrences.
+func TestIngestUniqueIdempotent(t *testing.T) {
+	root := t.TempDir()
+	a, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	s := mkSnap("h1", 1)
+	r1, err := a.IngestUnique(s, sigFor("sig-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Dup {
+		t.Error("first IngestUnique reported dup")
+	}
+	if !a.Has(r1.Sum) {
+		t.Errorf("Has(%s) false after ingest", r1.Sum[:12])
+	}
+	for i := 0; i < 3; i++ {
+		r, err := a.IngestUnique(s, sigFor("sig-a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Dup || r.Sum != r1.Sum || r.Bytes != r1.Bytes {
+			t.Errorf("replay %d: got %+v, want dup of %s (%d bytes)", i, r, r1.Sum[:12], r1.Bytes)
+		}
+	}
+	f, err := os.Open(filepath.Join(root, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("journal holds %d record(s), want exactly 1", len(recs))
+	}
+	b, err := a.Bucket("sig-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != 1 {
+		t.Errorf("bucket count %d, want 1", b.Count)
+	}
+}
+
+// TestIngestUniqueConcurrentSameContent: N racing IngestUnique calls
+// for one snap land one blob and one journal entry, no matter how the
+// blob write and the journal lock interleave.
+func TestIngestUniqueConcurrentSameContent(t *testing.T) {
+	root := t.TempDir()
+	a, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	s := mkSnap("h9", 9)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = a.IngestUnique(s, sigFor("sig-r"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d: %v", i, err)
+		}
+	}
+	if got := a.NumBlobs(); got != 1 {
+		t.Errorf("%d blobs resident, want 1", got)
+	}
+	f, err := os.Open(filepath.Join(root, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("journal holds %d record(s), want exactly 1", len(recs))
+	}
+	if b, err := a.Bucket("sig-r"); err != nil || b.Count != 1 {
+		t.Errorf("bucket = %+v, %v; want count 1", b, err)
+	}
+}
+
+// TestHasAfterGC: a GC'd blob is no longer Has — the precheck answers
+// 404 and the fleet re-uploads the evidence.
+func TestHasAfterGC(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	r1, err := a.Ingest(mkSnap("h1", 1), sigFor("s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ingest(mkSnap("h1", 2), sigFor("s2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.GC(GCPolicy{MaxBlobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Has(r1.Sum) {
+		t.Errorf("oldest blob %s still Has after gc to 1 blob", r1.Sum[:12])
+	}
+	// Re-ingesting after eviction journals again (the evidence returns).
+	r2, err := a.IngestUnique(mkSnap("h1", 1), sigFor("s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Dup {
+		t.Error("re-ingest after gc reported dup")
+	}
+	if !a.Has(r1.Sum) {
+		t.Error("blob not resident after re-ingest")
+	}
+}

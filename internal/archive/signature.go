@@ -129,10 +129,16 @@ func FromTrace(pt *recon.ProcessTrace) Signature {
 	}
 }
 
-// SignatureOf reconstructs s and fingerprints it, falling back to the
-// weak metadata signature when reconstruction is impossible (maps nil
-// or missing the snap's modules).
-func SignatureOf(s *snap.Snap, maps recon.MapResolver) Signature {
+// SignSnap is the single signing funnel shared by every ingest path —
+// `tbstore ingest`, the tbcollectd upload handler, and the service's
+// auto-archive: reconstruct s on maps (pass a *recon.MapCache to share
+// parses across snaps) and fingerprint the fault-directed view,
+// degrading to the weak metadata signature when reconstruction is
+// impossible (maps nil or missing the snap's modules). Reconstruction
+// is deterministic, so a snap signs identically no matter which path
+// ingested it — the property the loopback parity gates assert byte
+// for byte.
+func SignSnap(s *snap.Snap, maps recon.MapResolver) Signature {
 	if maps != nil {
 		if pt, err := recon.Reconstruct(s, maps); err == nil {
 			return FromTrace(pt)

@@ -24,7 +24,7 @@ func sigsOf(t *testing.T, b *scenario.Built) []archive.Signature {
 	maps := scenario.MapSet(b)
 	out := make([]archive.Signature, len(b.Snaps))
 	for i, s := range b.Snaps {
-		out[i] = archive.SignatureOf(s, maps)
+		out[i] = archive.SignSnap(s, maps)
 		if out[i].Weak {
 			t.Errorf("%s snap %d (%s): weak signature %q — reconstruction failed",
 				b.Name, i, s.Reason, out[i].Title)
@@ -121,7 +121,7 @@ func TestIngestStableAcrossConcurrency(t *testing.T) {
 	for _, b := range builts {
 		maps := scenario.MapSet(b)
 		for _, s := range b.Snaps {
-			sig := archive.SignatureOf(s, maps)
+			sig := archive.SignSnap(s, maps)
 			for rep := 0; rep < 3; rep++ {
 				batch = append(batch, item{s, sig})
 			}

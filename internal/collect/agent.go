@@ -1,0 +1,470 @@
+package collect
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"traceback/internal/archive"
+	"traceback/internal/snap"
+	"traceback/internal/telemetry"
+)
+
+// quarantineDir is where the agent parks spool entries it must never
+// upload (unreadable, or rejected outright by the daemon). Evidence
+// is never deleted — a human decides what a quarantined snap was.
+const quarantineDir = "quarantine"
+
+// Spool writes a snap into a spool directory under its content
+// address (tmp file + rename, so a crash never leaves a partial snap
+// where the agent would pick it up). Identical snaps spool once —
+// the name is the content hash — which makes local re-spooling as
+// idempotent as the wire protocol above it.
+func Spool(dir string, s *snap.Snap) (string, error) {
+	sum, canonical, err := archive.ChecksumSnap(s)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("collect: %w", err)
+	}
+	path := filepath.Join(dir, sum+".snap.json.gz")
+	if _, err := os.Stat(path); err == nil {
+		return path, nil
+	}
+	tmp, err := os.CreateTemp(dir, ".spool-*")
+	if err != nil {
+		return "", fmt.Errorf("collect: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := compressTo(tmp, canonical); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("collect: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("collect: %w", err)
+	}
+	return path, nil
+}
+
+// SpoolForwarder adapts a spool directory to the service's forward
+// hook: every service-triggered snap (hang, external, group) lands in
+// the spool and rides the agent to the warehouse.
+func SpoolForwarder(dir string) func(*snap.Snap) error {
+	return func(s *snap.Snap) error {
+		_, err := Spool(dir, s)
+		return err
+	}
+}
+
+// compressTo gzips the exact canonical bytes the content address was
+// computed over, mirroring the warehouse's blob form.
+func compressTo(f *os.File, canonical []byte) error {
+	zw, err := gzip.NewWriterLevel(f, gzip.BestCompression)
+	if err != nil {
+		return fmt.Errorf("collect: %w", err)
+	}
+	if _, err := zw.Write(canonical); err != nil {
+		zw.Close()
+		return fmt.Errorf("collect: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("collect: %w", err)
+	}
+	return nil
+}
+
+// AgentOptions configures an uploader.
+type AgentOptions struct {
+	// Client is the HTTP client (default: 30s-timeout client).
+	Client *http.Client
+	// BackoffBase/BackoffMax bound the jittered exponential retry
+	// delay (defaults 200ms / 30s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the backoff jitter; 0 derives one from the clock so
+	// a fleet of agents does not retry in lockstep. Tests pin it.
+	Seed int64
+	// Sleep replaces the inter-retry wait (tests compress time). It
+	// must respect ctx like the default does.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Telemetry is the registry coll_agent_ metrics land in.
+	Telemetry *telemetry.Registry
+}
+
+// Agent watches a spool directory and uploads every snap to a
+// collection daemon. Durability contract: a snap leaves the spool
+// only after a 2xx response whose hash echo matches the agent's own
+// content address — anything less (lost response, truncated reply,
+// 5xx, daemon death mid-upload) leaves the file spooled and the next
+// pass retries. The warehouse's content-addressed idempotency makes
+// those retries safe: re-uploading committed content is a no-op.
+type Agent struct {
+	spool string
+	base  string
+
+	client      *http.Client
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	sleep       func(ctx context.Context, d time.Duration) error
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+	met agentMetrics
+}
+
+type agentMetrics struct {
+	uploads      *telemetry.Counter
+	dedupSkips   *telemetry.Counter
+	retries      *telemetry.Counter
+	backpressure *telemetry.Counter
+	quarantined  *telemetry.Counter
+}
+
+// NewAgent builds an uploader for one spool directory against a
+// daemon base URL (e.g. "http://collector:7321").
+func NewAgent(spool, baseURL string, opts AgentOptions) *Agent {
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 200 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 30 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = time.Now().UnixNano()
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = sleepCtx
+	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	a := &Agent{
+		spool:       spool,
+		base:        strings.TrimRight(baseURL, "/"),
+		client:      opts.Client,
+		backoffBase: opts.BackoffBase,
+		backoffMax:  opts.BackoffMax,
+		sleep:       opts.Sleep,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		reg:         reg,
+		rec:         reg.Recorder(256),
+	}
+	a.met = agentMetrics{
+		uploads:      reg.Counter("coll_agent_uploads_total", "snaps uploaded and committed (hash echo matched)"),
+		dedupSkips:   reg.Counter("coll_agent_dedup_skips_total", "spooled snaps skipped entirely after a dedup-precheck hit"),
+		retries:      reg.Counter("coll_agent_retries_total", "retryable upload failures (retried with backoff)"),
+		backpressure: reg.Counter("coll_agent_backpressure_total", "429 backpressure responses honored"),
+		quarantined:  reg.Counter("coll_agent_quarantined_total", "spool entries quarantined (unreadable or rejected)"),
+	}
+	reg.GaugeFunc("coll_agent_spooled", "snaps waiting in the spool", func() int64 {
+		paths, err := a.scan()
+		if err != nil {
+			return -1
+		}
+		return int64(len(paths))
+	})
+	return a
+}
+
+// Metrics returns the agent's registry.
+func (a *Agent) Metrics() *telemetry.Registry { return a.reg }
+
+// scan lists the spool's snap files in sorted (deterministic) order,
+// ignoring quarantine, tmp files, and anything that is not a snap.
+func (a *Agent) scan() ([]string, error) {
+	entries, err := os.ReadDir(a.spool)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("collect: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || (!strings.HasSuffix(name, ".snap.json") && !strings.HasSuffix(name, ".snap.json.gz")) {
+			continue
+		}
+		out = append(out, filepath.Join(a.spool, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// outcome classifies one per-file attempt.
+type outcome int
+
+const (
+	outCommitted outcome = iota // left the spool (uploaded or dedup-skipped)
+	outRetry                    // transient failure, file stays spooled
+	outQuarantined              // moved aside, never retried
+)
+
+// Drain uploads until the spool is empty, retrying failed snaps with
+// jittered exponential backoff (and honoring 429 Retry-After hints),
+// until ctx is cancelled. On cancellation the remaining snaps stay
+// spooled — the next Drain, even in a new process, resumes them.
+func (a *Agent) Drain(ctx context.Context) error {
+	attempt := 0
+	for {
+		done, remaining, hint, lastErr := a.pass(ctx)
+		if remaining == 0 {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("collect: drain interrupted with %d snap(s) spooled (last error: %v): %w",
+				remaining, lastErr, err)
+		}
+		if done > 0 {
+			attempt = 0 // progress: the daemon is back, restart the ramp
+		}
+		attempt++
+		d := a.backoff(attempt)
+		if hint > d {
+			d = hint
+		}
+		if err := a.sleep(ctx, d); err != nil {
+			return fmt.Errorf("collect: drain interrupted with %d snap(s) spooled (last error: %v): %w",
+				remaining, lastErr, err)
+		}
+	}
+}
+
+// Run watches the spool until ctx is cancelled: drain what is there,
+// then poll for new snaps. Transient failures back off exactly as in
+// Drain; an idle spool costs one directory scan per poll interval.
+func (a *Agent) Run(ctx context.Context, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 2 * time.Second
+	}
+	attempt := 0
+	for {
+		done, remaining, hint, _ := a.pass(ctx)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var d time.Duration
+		switch {
+		case remaining == 0:
+			attempt = 0
+			d = poll
+		default:
+			if done > 0 {
+				attempt = 0
+			}
+			attempt++
+			d = a.backoff(attempt)
+			if hint > d {
+				d = hint
+			}
+		}
+		if err := a.sleep(ctx, d); err != nil {
+			return err
+		}
+	}
+}
+
+// pass tries every spooled snap once. done counts snaps that left the
+// spool, remaining what is still waiting (retryables), hint the
+// largest Retry-After the daemon sent, lastErr the most recent
+// retryable failure (for diagnostics).
+func (a *Agent) pass(ctx context.Context) (done, remaining int, hint time.Duration, lastErr error) {
+	paths, err := a.scan()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, p := range paths {
+		if ctx.Err() != nil {
+			remaining++
+			continue
+		}
+		out, h, err := a.processFile(ctx, p)
+		switch out {
+		case outCommitted, outQuarantined:
+			done++
+		case outRetry:
+			remaining++
+			a.met.retries.Inc()
+			if err != nil {
+				lastErr = err
+				a.rec.Record(0, "coll-agent-retry", filepath.Base(p)+": "+err.Error())
+			}
+			if h > hint {
+				hint = h
+			}
+		}
+	}
+	return done, remaining, hint, lastErr
+}
+
+// processFile pushes one spool entry through the protocol state
+// machine: load → precheck → upload → hash-echo commit.
+func (a *Agent) processFile(ctx context.Context, path string) (outcome, time.Duration, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return outCommitted, 0, nil // another drain already took it
+		}
+		return outRetry, 0, err
+	}
+	sn, lerr := snap.LoadAuto(f)
+	f.Close()
+	if lerr != nil {
+		// Not evidence the wire can carry; park it where a human will
+		// find it instead of spinning on it forever.
+		return a.quarantine(path, fmt.Errorf("unreadable snap: %w", lerr))
+	}
+	sum, _, err := archive.ChecksumSnap(sn)
+	if err != nil {
+		return a.quarantine(path, err)
+	}
+
+	// Dedup precheck: a HEAD round trip instead of the whole body for
+	// crashes the warehouse already holds.
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, a.base+PathBlobPrefix+sum, nil)
+	if err != nil {
+		return outRetry, 0, err
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return outRetry, 0, err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		a.met.dedupSkips.Inc()
+		return a.commit(path)
+	case http.StatusNotFound:
+		// fall through to upload
+	case http.StatusTooManyRequests:
+		a.met.backpressure.Inc()
+		return outRetry, retryAfter(resp), fmt.Errorf("precheck backpressure (429)")
+	default:
+		return outRetry, 0, fmt.Errorf("precheck: unexpected status %s", resp.Status)
+	}
+
+	var body bytes.Buffer
+	if err := sn.SaveCompressed(&body); err != nil {
+		return a.quarantine(path, err)
+	}
+	req, err = http.NewRequestWithContext(ctx, http.MethodPost, a.base+PathSnap, &body)
+	if err != nil {
+		return outRetry, 0, err
+	}
+	req.Header.Set("Content-Type", "application/gzip")
+	req.Header.Set(HeaderSum, sum)
+	resp, err = a.client.Do(req)
+	if err != nil {
+		return outRetry, 0, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated:
+		var ur UploadResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+			// Truncated or garbled response: the daemon may or may not
+			// have committed. Idempotency makes retrying the right move.
+			return outRetry, 0, fmt.Errorf("unreadable upload response: %w", err)
+		}
+		if ur.Sum != sum {
+			return outRetry, 0, fmt.Errorf("hash echo %q does not match %q", ur.Sum, sum)
+		}
+		a.met.uploads.Inc()
+		a.rec.Record(sn.Time, "coll-agent-upload", sum[:12]+" -> "+ur.Sig)
+		return a.commit(path)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		a.met.backpressure.Inc()
+		return outRetry, retryAfter(resp), fmt.Errorf("upload backpressure (429)")
+	case resp.StatusCode >= 500:
+		return outRetry, 0, fmt.Errorf("upload: daemon error %s", resp.Status)
+	default:
+		// A definitive 4xx: the daemon examined this snap and refused.
+		// Retrying identical bytes cannot succeed; keep the evidence.
+		return a.quarantine(path, fmt.Errorf("upload rejected: %s", resp.Status))
+	}
+}
+
+// commit removes a spool entry — only ever called after the dedup
+// precheck or the hash echo proved the warehouse holds the content.
+func (a *Agent) commit(path string) (outcome, time.Duration, error) {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return outRetry, 0, err
+	}
+	return outCommitted, 0, nil
+}
+
+func (a *Agent) quarantine(path string, cause error) (outcome, time.Duration, error) {
+	dir := filepath.Join(a.spool, quarantineDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return outRetry, 0, err
+	}
+	if err := os.Rename(path, filepath.Join(dir, filepath.Base(path))); err != nil {
+		return outRetry, 0, err
+	}
+	a.met.quarantined.Inc()
+	a.rec.Record(0, "coll-agent-quarantine", filepath.Base(path)+": "+cause.Error())
+	return outQuarantined, 0, nil
+}
+
+// backoff computes the jittered exponential delay for the given
+// consecutive-failure count: base·2^(n-1) capped at max, then
+// uniformly jittered into [d/2, d] so a fleet's retries decorrelate.
+func (a *Agent) backoff(attempt int) time.Duration {
+	d := a.backoffBase
+	for i := 1; i < attempt && d < a.backoffMax; i++ {
+		d *= 2
+	}
+	if d > a.backoffMax {
+		d = a.backoffMax
+	}
+	a.rngMu.Lock()
+	j := time.Duration(a.rng.Int63n(int64(d/2) + 1))
+	a.rngMu.Unlock()
+	return d/2 + j
+}
+
+// retryAfter parses a Retry-After seconds hint (0 when absent/bad).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

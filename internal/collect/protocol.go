@@ -1,0 +1,71 @@
+// Package collect is the fleet collection plane: the network layer
+// that moves crash snaps from instrumented machines into the snap
+// warehouse (internal/archive). The paper's deployment model is a
+// support organization triaging faults across a fleet; after the
+// warehouse PR, snaps could only reach it through a local CLI. This
+// package adds the missing wire: tbcollectd (Server) fronts an
+// archive with a small versioned HTTP API, and tbagent (Agent)
+// watches a spool directory on each machine and uploads with dedup
+// precheck, jittered exponential backoff, and a durable commit rule —
+// a snap leaves the spool only after a 2xx whose hash echo matches.
+//
+// The protocol is built for lossy fleets: every upload is idempotent
+// (content-addressed; the warehouse journals one entry per unique
+// snap no matter how many times it arrives), so an agent that loses a
+// response, hits a 5xx storm, or watches the daemon die mid-upload
+// simply retries. The dedup precheck (HEAD /v1/blob/{sum}) lets
+// agents skip the body entirely for crashes the warehouse already
+// holds — duplicate faults are the common case at fleet scale, so
+// the steady-state cost of a known crash is one round trip.
+package collect
+
+import "traceback/internal/archive"
+
+// APIVersion prefixes every collection route; a breaking protocol
+// change bumps it and daemons serve both during transition.
+const APIVersion = "v1"
+
+// Wire routes (server side; the agent builds them via joinURL).
+const (
+	// PathBlobPrefix + <sha256 hex> answers the dedup precheck:
+	// HEAD → 200 when the blob is resident, 404 when not.
+	PathBlobPrefix = "/" + APIVersion + "/blob/"
+	// PathSnap accepts POST uploads: body is one snap in plain-JSON or
+	// gzip archival form; response is an UploadResponse.
+	PathSnap = "/" + APIVersion + "/snap"
+	// PathBuckets and PathTop are the fleet triage queries, JSON
+	// mirrors of `tbstore ls` / `tbstore top`.
+	PathBuckets = "/" + APIVersion + "/buckets"
+	PathTop     = "/" + APIVersion + "/top"
+	// PathMetrics and PathHealth are unversioned operational routes.
+	PathMetrics = "/metrics"
+	PathHealth  = "/healthz"
+)
+
+// HeaderSum carries the agent's claimed content address on an upload.
+// The daemon recomputes the sum from the body and rejects a mismatch
+// (422), so a snap corrupted between spool and wire can never be
+// archived under the wrong address.
+const HeaderSum = "X-Traceback-Sum"
+
+// UploadResponse is the daemon's answer to POST /v1/snap. Sum is the
+// hash echo: the content address the daemon computed and committed.
+// The agent deletes its spool copy only when Sum matches what it
+// claimed — that echo is the durable handoff point of the protocol.
+type UploadResponse struct {
+	V     int    `json:"v"`
+	Sum   string `json:"sum"`
+	Sig   string `json:"sig"`
+	Title string `json:"title"`
+	Weak  bool   `json:"weak,omitempty"`
+	// Dup reports an idempotent replay: the warehouse already held
+	// this content and journaled nothing new.
+	Dup       bool `json:"dup,omitempty"`
+	NewBucket bool `json:"newBucket,omitempty"`
+}
+
+// TopResponse is the daemon's answer to GET /v1/top and /v1/buckets.
+type TopResponse struct {
+	V       int              `json:"v"`
+	Buckets []archive.Bucket `json:"buckets"`
+}

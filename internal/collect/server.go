@@ -1,0 +1,312 @@
+package collect
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"traceback/internal/archive"
+	"traceback/internal/recon"
+	"traceback/internal/snap"
+	"traceback/internal/telemetry"
+)
+
+// ServerOptions configures a collection daemon.
+type ServerOptions struct {
+	// Maps resolves mapfiles for strong crash signatures; nil archives
+	// every upload under weak metadata signatures.
+	Maps recon.MapResolver
+	// MaxInflight bounds concurrent ingests; uploads beyond it are
+	// rejected 429 with Retry-After (default 4).
+	MaxInflight int
+	// MaxBodyBytes bounds one upload body (default 64 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the backpressure hint sent with 429 (default 1s).
+	RetryAfter time.Duration
+	// Telemetry is the registry coll_ metrics land in (nil: private).
+	Telemetry *telemetry.Registry
+}
+
+// Server fronts an archive.Archive with the collection protocol. It
+// is safe for concurrent use; ingest concurrency is bounded by a
+// semaphore and overload turns into explicit 429 backpressure rather
+// than queueing without bound.
+type Server struct {
+	arch *archive.Archive
+	maps recon.MapResolver
+
+	sem        chan struct{}
+	maxBody    int64
+	retryAfter time.Duration
+
+	mux      *http.ServeMux
+	hs       *http.Server
+	draining atomic.Bool
+
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+	met serverMetrics
+
+	// ingestGate, when set (tests only), runs while an upload holds
+	// its semaphore slot — the hook backpressure and drain tests use
+	// to pin an ingest in flight.
+	ingestGate func()
+}
+
+type serverMetrics struct {
+	uploads      *telemetry.Counter
+	uploadDups   *telemetry.Counter
+	precheckHit  *telemetry.Counter
+	precheckMiss *telemetry.Counter
+	backpressure *telemetry.Counter
+	uploadErrors *telemetry.Counter
+	bytesIn      *telemetry.Counter
+	uploadNanos  *telemetry.Histogram
+}
+
+// NewServer builds a daemon over an open archive.
+func NewServer(arch *archive.Archive, opts ServerOptions) *Server {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 4
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	s := &Server{
+		arch:       arch,
+		maps:       opts.Maps,
+		sem:        make(chan struct{}, opts.MaxInflight),
+		maxBody:    opts.MaxBodyBytes,
+		retryAfter: opts.RetryAfter,
+		reg:        reg,
+		rec:        reg.Recorder(256),
+	}
+	s.met = serverMetrics{
+		uploads:      reg.Counter("coll_uploads_total", "snaps ingested over the wire"),
+		uploadDups:   reg.Counter("coll_upload_dups_total", "uploads replaying content already resident (idempotent no-ops)"),
+		precheckHit:  reg.Counter("coll_precheck_hits_total", "dedup prechecks answered 'already stored' (upload skipped)"),
+		precheckMiss: reg.Counter("coll_precheck_misses_total", "dedup prechecks answered 'not stored'"),
+		backpressure: reg.Counter("coll_backpressure_total", "uploads rejected 429 at ingest capacity"),
+		uploadErrors: reg.Counter("coll_upload_errors_total", "uploads rejected (malformed, hash mismatch, or ingest failure)"),
+		bytesIn:      reg.Counter("coll_bytes_received_total", "upload body bytes received"),
+		uploadNanos:  reg.Histogram("coll_upload_nanos", "per-upload handling latency (ns)", telemetry.DurationBuckets()),
+	}
+	reg.GaugeFunc("coll_inflight", "ingests currently holding a semaphore slot", func() int64 {
+		return int64(len(s.sem))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("HEAD "+PathBlobPrefix+"{sum}", s.handlePrecheck)
+	mux.HandleFunc("POST "+PathSnap, s.handleUpload)
+	mux.HandleFunc("GET "+PathBuckets, s.handleBuckets)
+	mux.HandleFunc("GET "+PathTop, s.handleTop)
+	mux.HandleFunc("GET "+PathMetrics, s.handleMetrics)
+	mux.HandleFunc("GET "+PathHealth, s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler exposes the daemon's routes (httptest-friendly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the daemon's registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Serve accepts connections on l until Shutdown. The error mirrors
+// http.Server.Serve: http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.hs = &http.Server{Handler: s.mux}
+	return s.hs.Serve(l)
+}
+
+// Shutdown drains gracefully: the listener stops accepting, /healthz
+// flips to 503, and every in-flight ingest runs to completion (and
+// its journal append lands) before Serve returns. The archive itself
+// is the caller's to close — the daemon never owns it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// handlePrecheck answers the dedup precheck: 200 when the blob is
+// resident, 404 when the fleet should upload.
+func (s *Server) handlePrecheck(w http.ResponseWriter, r *http.Request) {
+	sum := r.PathValue("sum")
+	if !validSum(sum) {
+		http.Error(w, "bad content address", http.StatusBadRequest)
+		return
+	}
+	if s.arch.Has(sum) {
+		s.met.precheckHit.Inc()
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	s.met.precheckMiss.Inc()
+	w.WriteHeader(http.StatusNotFound)
+}
+
+// handleUpload is the ingest path: bounded by the semaphore, verified
+// against the claimed content address, committed idempotently.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.met.uploadNanos.Observe(uint64(time.Since(t0))) }()
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.met.backpressure.Inc()
+		s.rec.Record(0, "coll-backpressure", r.RemoteAddr)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+		http.Error(w, "ingest at capacity", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.sem }()
+	if s.ingestGate != nil {
+		s.ingestGate()
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	sn, err := snap.LoadAuto(&countingReader{r: body, n: s.met.bytesIn})
+	if err != nil {
+		s.uploadError(w, fmt.Sprintf("unreadable snap: %v", err), http.StatusBadRequest)
+		return
+	}
+	sum, _, err := archive.ChecksumSnap(sn)
+	if err != nil {
+		s.uploadError(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if claimed := r.Header.Get(HeaderSum); claimed != "" && claimed != sum {
+		s.uploadError(w, fmt.Sprintf("content hash mismatch: body is %s, claimed %s", sum, claimed),
+			http.StatusUnprocessableEntity)
+		return
+	}
+
+	sig := archive.SignSnap(sn, s.maps)
+	res, err := s.arch.IngestUnique(sn, sig)
+	if err != nil {
+		s.uploadError(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	status := http.StatusCreated
+	if res.Dup {
+		status = http.StatusOK
+		s.met.uploadDups.Inc()
+	} else {
+		s.met.uploads.Inc()
+		s.rec.Record(sn.Time, "coll-upload", res.Sum[:12]+" -> "+res.Sig.ID)
+		if res.NewBucket {
+			s.rec.Record(sn.Time, "coll-bucket-new", res.Sig.ID+" "+res.Sig.Title)
+		}
+	}
+	writeJSON(w, status, UploadResponse{
+		V: 1, Sum: res.Sum, Sig: res.Sig.ID, Title: res.Sig.Title,
+		Weak: res.Sig.Weak, Dup: res.Dup, NewBucket: res.NewBucket,
+	})
+}
+
+func (s *Server) uploadError(w http.ResponseWriter, msg string, status int) {
+	s.met.uploadErrors.Inc()
+	s.rec.Record(0, "coll-upload-error", msg)
+	http.Error(w, msg, status)
+}
+
+func (s *Server) handleBuckets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, TopResponse{V: 1, Buckets: s.arch.Buckets()})
+}
+
+// handleTop returns the first n buckets in triage order (count desc).
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	buckets := s.arch.Buckets()
+	if n > 0 && len(buckets) > n {
+		buckets = buckets[:n]
+	}
+	writeJSON(w, http.StatusOK, TopResponse{V: 1, Buckets: buckets})
+}
+
+// handleMetrics serves the shared registry: Prometheus text by
+// default, JSON (with the flight-recorder dump) for ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// validSum accepts exactly a lowercase SHA-256 hex string — anything
+// else cannot be a content address this archive produced.
+func validSum(sum string) bool {
+	if len(sum) != 64 {
+		return false
+	}
+	for i := 0; i < len(sum); i++ {
+		c := sum[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// countingReader feeds received body bytes into a counter as they
+// stream through the snap decoder.
+type countingReader struct {
+	r io.Reader
+	n *telemetry.Counter
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.n.Add(uint64(n))
+	}
+	return n, err
+}

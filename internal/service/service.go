@@ -41,6 +41,12 @@ type Service struct {
 	arch     *archive.Archive
 	archMaps recon.MapResolver
 
+	// forward, when set, additionally hands every service-triggered
+	// snap to the fleet collection plane (typically
+	// collect.SpoolForwarder: spool to disk, let tbagent upload), so
+	// remote machines feed the central warehouse automatically.
+	forward func(*snap.Snap) error
+
 	// Self-telemetry (svc_ prefix) plus a flight recorder for
 	// heartbeat misses.
 	reg         *telemetry.Registry
@@ -52,6 +58,8 @@ type Service struct {
 	groupSnaps  *telemetry.Counter
 	archived    *telemetry.Counter
 	archiveErrs *telemetry.Counter
+	forwarded   *telemetry.Counter
+	forwardErrs *telemetry.Counter
 }
 
 // New creates the machine's service process.
@@ -77,6 +85,8 @@ func (s *Service) bindTelemetry(reg *telemetry.Registry) {
 	s.groupSnaps = reg.Counter("svc_group_snaps_total", "group-propagated snaps taken")
 	s.archived = reg.Counter("svc_archived_total", "service-triggered snaps ingested into the warehouse")
 	s.archiveErrs = reg.Counter("svc_archive_errors_total", "warehouse ingests that failed")
+	s.forwarded = reg.Counter("svc_forwarded_total", "service-triggered snaps handed to the collection plane")
+	s.forwardErrs = reg.Counter("svc_forward_errors_total", "collection-plane forwards that failed")
 	s.verify = verify.NewMetrics(reg)
 }
 
@@ -89,17 +99,37 @@ func (s *Service) SetArchive(a *archive.Archive, maps recon.MapResolver) {
 	s.archMaps = maps
 }
 
+// SetForward routes every snap the service triggers into the fleet
+// collection plane. fwd is typically collect.SpoolForwarder(dir): the
+// snap lands in the local spool and tbagent uploads it to tbcollectd,
+// so remote machines feed the central warehouse without any local CLI
+// step. A forward failure is counted and flight-recorded but never
+// blocks the snap — it stays in Snaps (and the local archive, when
+// one is attached) regardless.
+func (s *Service) SetForward(fwd func(*snap.Snap) error) {
+	s.forward = fwd
+}
+
 // collect is the single funnel for service-triggered snaps: remember
-// it, and archive it when a warehouse is attached.
+// it, archive it when a warehouse is attached, and forward it to the
+// collection plane when one is wired.
 func (s *Service) collect(sn *snap.Snap) {
 	if sn == nil {
 		return
 	}
 	s.Snaps = append(s.Snaps, sn)
+	if s.forward != nil {
+		if err := s.forward(sn); err != nil {
+			s.forwardErrs.Inc()
+			s.rec.Record(s.machine.Clock(), "forward-error", err.Error())
+		} else {
+			s.forwarded.Inc()
+		}
+	}
 	if s.arch == nil {
 		return
 	}
-	sig := archive.SignatureOf(sn, s.archMaps)
+	sig := archive.SignSnap(sn, s.archMaps)
 	if _, err := s.arch.Ingest(sn, sig); err != nil {
 		s.archiveErrs.Inc()
 		s.rec.Record(s.machine.Clock(), "archive-error", err.Error())

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"traceback/internal/core"
 	"traceback/internal/minic"
 	"traceback/internal/recon"
+	"traceback/internal/snap"
 	"traceback/internal/tbrt"
 	"traceback/internal/vm"
 )
@@ -344,3 +346,65 @@ func TestServiceArchiveNilMapsDegradesToWeak(t *testing.T) {
 		t.Fatalf("buckets = %+v, want one weak bucket", buckets)
 	}
 }
+
+// TestServiceForwardsTriggeredSnaps: with a forward hook wired (the
+// fleet collection plane), every service-triggered snap is handed off
+// and counted; a failing forwarder never loses the snap.
+func TestServiceForwardsTriggeredSnaps(t *testing.T) {
+	res := buildApp(t, hangSrc)
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	p, rt, err := tbrt.NewProcess(mach, "hung-app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Load(res.Module)
+	p.StartMain(0)
+	svc := New(mach, 10_000)
+	svc.Register(rt)
+
+	var forwarded []*snap.Snap
+	svc.SetForward(func(sn *snap.Snap) error {
+		forwarded = append(forwarded, sn)
+		return nil
+	})
+
+	w.Run(1000, func() bool { return p.Exited })
+	mach.SetClock(mach.Clock() + 50_000)
+	if hung := svc.CheckStatus(); len(hung) != 1 {
+		t.Fatalf("hung = %v", hung)
+	}
+	if len(forwarded) != 1 {
+		t.Fatalf("forward hook received %d snap(s), want the hang snap", len(forwarded))
+	}
+	if forwarded[0] != svc.Snaps[0] {
+		t.Error("forwarded snap is not the collected snap")
+	}
+
+	var sb strings.Builder
+	if err := svc.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "svc_forwarded_total 1") {
+		t.Errorf("svc_forwarded_total != 1:\n%s", sb.String())
+	}
+
+	// A broken forwarder (full disk, bad spool path) is counted but
+	// never costs the snap: it still lands in Snaps.
+	svc.SetForward(func(*snap.Snap) error { return errForward })
+	if _, err := svc.ExternalSnap("hung-app"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.Snaps); got != 2 {
+		t.Fatalf("%d service snaps, want 2 (snap lost on forward failure)", got)
+	}
+	sb.Reset()
+	if err := svc.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "svc_forward_errors_total 1") {
+		t.Errorf("svc_forward_errors_total != 1:\n%s", sb.String())
+	}
+}
+
+var errForward = errors.New("spool unwritable")
