@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check gensnaps
+.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check fault-check gensnaps genregress recon-bench
 
 all: build test
 
@@ -41,10 +41,10 @@ check:
 	$(GO) run ./cmd/tbcheck internal/verify/testdata/corpus/clean.tbm
 
 # The CI gate: static analysis, instrumentation verification, the
-# race-detector pass (which subsumes plain `go test`), and the snap
-# warehouse + collection plane end-to-end checks; keep this green
-# before merging.
-ci: vet check test-race store-check collect-check
+# race-detector pass (which subsumes plain `go test`), the snap
+# warehouse + collection plane end-to-end checks, and the bounded
+# fault-injection campaign; keep this green before merging.
+ci: vet check test-race store-check collect-check fault-check
 
 # Warehouse end-to-end gate: ingest the committed snaps/ fleet plus a
 # fresh re-run of the example scenarios, assert full deduplication and
@@ -62,10 +62,35 @@ store-check:
 collect-check:
 	$(GO) run ./tools/collectcheck
 
+# Fault-injection gate: bounded multi-seed campaigns over every fault
+# kind (kill -9, signal storms, RPC drop/delay/dup, module unload,
+# tiny-buffer wrap stress, managed interrupts, and a mid-ingest
+# collector kill in the wire phase), each asserting the reconstruction
+# invariants; then replay of the committed regression corpus, whose
+# seeded-known-bad case must stay detected. Fixed seeds: the whole
+# gate is deterministic. On failure, evidence bundles (snaps + maps +
+# repro line) land under fault_evidence/.
+fault-check:
+	$(GO) run ./cmd/tbfault run -seed 1 -kinds all -regress fault_evidence
+	$(GO) run ./cmd/tbfault run -seed 2 -kinds kill,signal,rpc,unload,wrap -regress fault_evidence
+	$(GO) run ./cmd/tbfault replay -dir snaps/regressions
+
 # Regenerate the committed example snap fleet (deterministic; only
 # needed when the examples or the instrumentation change).
 gensnaps:
 	$(GO) run ./tools/gensnaps
+
+# Regenerate the committed fault regression corpus under
+# snaps/regressions/ (deterministic; only needed when the scenarios,
+# instrumentation, or fault planner change).
+genregress:
+	$(GO) run ./tools/genregress
+
+# Reconstruction-throughput trajectory: snaps/sec, ns/record, and
+# allocs/record over the committed fleet at jobs 1/4/16. Wall-clock
+# numbers — compare shapes across commits, not absolute values.
+recon-bench:
+	$(GO) run ./cmd/tbbench -recon
 
 # Race-detector pass over everything, including the pipeline-vs-oracle
 # stress test (jobs 1/4/16 against one shared MapCache).
@@ -104,4 +129,4 @@ verify: build test
 # snaps/ is committed (the deterministic example fleet the warehouse
 # gate ingests) — clean must not remove it.
 clean:
-	rm -rf bin test_output.txt bench_output.txt
+	rm -rf bin test_output.txt bench_output.txt fault_evidence

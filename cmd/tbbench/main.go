@@ -17,10 +17,21 @@ import (
 
 func main() {
 	var (
-		table = flag.String("table", "all", "which result to regenerate: 1, 2, 3, petshop, ablation, all")
-		scale = flag.Float64("scale", 1.0, "work scale factor for Table 1 (smaller = faster)")
+		table    = flag.String("table", "all", "which result to regenerate: 1, 2, 3, petshop, ablation, all")
+		scale    = flag.Float64("scale", 1.0, "work scale factor for Table 1 (smaller = faster)")
+		rec      = flag.Bool("recon", false, "benchmark the reconstruction pipeline over the committed snap fleet instead of the paper tables")
+		recSnaps = flag.String("recon-snaps", "snaps", "snap fleet directory for -recon (maps in <dir>/maps)")
+		recOut   = flag.String("recon-out", "BENCH_recon.json", "output file for -recon")
 	)
 	flag.Parse()
+
+	if *rec {
+		if err := reconBench(*recSnaps, *recOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := map[string]bool{}
 	if *table == "all" {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"traceback/internal/recon"
+)
+
+// reconBench measures the reconstruction pipeline over the committed
+// snap fleet at several worker budgets and writes the trajectory
+// point to a JSON file. Unlike the cycle-count tables, these are
+// host wall-clock numbers: the committed BENCH_recon.json records a
+// trajectory — regenerate after pipeline work and compare shapes
+// (scaling across jobs, allocs/record), not absolute nanoseconds.
+type reconPoint struct {
+	Jobs            int     `json:"jobs"`
+	SnapsPerSec     float64 `json:"snapsPerSec"`
+	NsPerRecord     float64 `json:"nsPerRecord"`
+	AllocsPerRecord float64 `json:"allocsPerRecord"`
+}
+
+type reconReport struct {
+	V          int          `json:"v"`
+	Fleet      []string     `json:"fleet"`
+	Records    int64        `json:"recordsPerPass"`
+	Iterations int          `json:"iterations"`
+	Points     []reconPoint `json:"points"`
+}
+
+// reconJobs are the worker budgets measured, mirroring the
+// collect-check ingest concurrency ladder.
+var reconJobs = []int{1, 4, 16}
+
+func reconBench(snapsDir, out string) error {
+	entries, err := filepath.Glob(filepath.Join(snapsDir, "*.snap.json.gz"))
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no *.snap.json.gz under %s (run: go run ./tools/gensnaps)", snapsDir)
+	}
+	sort.Strings(entries)
+	loader, err := recon.NewDirLoader(filepath.Join(snapsDir, "maps"))
+	if err != nil {
+		return err
+	}
+
+	rep := reconReport{V: 1}
+	for _, p := range entries {
+		rep.Fleet = append(rep.Fleet, filepath.Base(p))
+	}
+
+	const minWindow = 300 * time.Millisecond
+	for _, jobs := range reconJobs {
+		maps := recon.NewMapCache(loader.Load)
+		pipe := recon.NewPipeline(maps, jobs)
+		var sources []recon.Source
+		for _, p := range entries {
+			sources = append(sources, recon.FileSource(p))
+		}
+		// Warm: mapfile parses and file cache out of the measured loop.
+		for _, r := range pipe.Run(sources) {
+			if r.Err != nil {
+				return fmt.Errorf("%s: %v", r.Name, r.Err)
+			}
+		}
+		warm := pipe.Snapshot()
+		if warm.RecordsMined == 0 {
+			return fmt.Errorf("fleet mined no records")
+		}
+		rep.Records = warm.RecordsMined
+
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		iters := 0
+		t0 := time.Now()
+		for time.Since(t0) < minWindow {
+			pipe.Run(sources)
+			iters++
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+
+		snaps := float64(iters * len(sources))
+		records := float64(int64(iters) * warm.RecordsMined)
+		rep.Iterations = iters
+		rep.Points = append(rep.Points, reconPoint{
+			Jobs:            jobs,
+			SnapsPerSec:     round2(snaps / wall.Seconds()),
+			NsPerRecord:     round2(float64(wall.Nanoseconds()) / records),
+			AllocsPerRecord: round2(float64(ms1.Mallocs-ms0.Mallocs) / records),
+		})
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recon bench: %d snap(s), %d records/pass\n", len(entries), rep.Records)
+	for _, pt := range rep.Points {
+		fmt.Printf("  jobs %-3d %10.0f snaps/sec  %8.1f ns/record  %6.2f allocs/record\n",
+			pt.Jobs, pt.SnapsPerSec, pt.NsPerRecord, pt.AllocsPerRecord)
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}

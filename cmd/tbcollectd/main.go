@@ -89,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	go func() { errc <- srv.Serve(l) }()
 	select {
 	case <-sigs:
+		// Flip /healthz to the draining state first, so anything
+		// polling health sees the drain before the listener closes.
+		srv.BeginDrain()
 		fmt.Fprintln(stdout, "tbcollectd: draining")
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		derr := srv.Shutdown(ctx)

@@ -69,3 +69,23 @@ type TopResponse struct {
 	V       int              `json:"v"`
 	Buckets []archive.Bucket `json:"buckets"`
 }
+
+// Health states reported by GET /healthz.
+const (
+	// HealthOK: serving normally (HTTP 200).
+	HealthOK = "ok"
+	// HealthDraining: the daemon is shutting down gracefully —
+	// in-flight ingests run to completion but new work should go
+	// elsewhere (HTTP 503, so load balancers eject it).
+	HealthDraining = "draining"
+)
+
+// HealthResponse is the daemon's answer to GET /healthz. State
+// distinguishes a live daemon from one mid-drain; Inflight counts
+// ingests currently holding a semaphore slot (drain watchers poll it
+// toward zero).
+type HealthResponse struct {
+	V        int    `json:"v"`
+	State    string `json:"state"`
+	Inflight int    `json:"inflight"`
+}

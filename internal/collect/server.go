@@ -132,12 +132,26 @@ func (s *Server) Serve(l net.Listener) error {
 	return s.hs.Serve(l)
 }
 
+// BeginDrain flips the daemon into the draining state without
+// closing the listener: /healthz answers 503 {"state":"draining"}
+// while uploads still complete, so a load balancer polling health
+// stops routing new work before the listener disappears. Shutdown
+// implies it; calling BeginDrain first makes the drain observable.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.rec.Record(0, "coll-drain-begin", "")
+	}
+}
+
+// Draining reports whether the daemon has entered its drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Shutdown drains gracefully: the listener stops accepting, /healthz
 // flips to 503, and every in-flight ingest runs to completion (and
 // its journal append lands) before Serve returns. The archive itself
 // is the caller's to close — the daemon never owns it.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	s.BeginDrain()
 	if s.hs == nil {
 		return nil
 	}
@@ -266,11 +280,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state, code := HealthOK, http.StatusOK
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+		state, code = HealthDraining, http.StatusServiceUnavailable
 	}
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, code, HealthResponse{V: 1, State: state, Inflight: len(s.sem)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -344,18 +344,66 @@ func TestGracefulDrain(t *testing.T) {
 	}
 }
 
-// TestHealthzDraining: the health route flips to 503 the moment a
-// drain starts, so load balancers stop routing to a dying daemon.
+// TestHealthzDraining: /healthz reports a distinct draining state —
+// BeginDrain flips it to 503 {"state":"draining"} while the listener
+// still accepts and in-flight ingests finish, so a load balancer
+// polling health stops routing before the listener disappears.
 func TestHealthzDraining(t *testing.T) {
 	srv, ts, _ := newTestDaemon(t, ServerOptions{})
-	srv.draining.Store(true)
-	resp, err := http.Get(ts.URL + PathHealth)
-	if err != nil {
-		t.Fatal(err)
+	getHealth := func() (int, HealthResponse) {
+		resp, err := http.Get(ts.URL + PathHealth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		return resp.StatusCode, h
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: %s, want 503", resp.Status)
+
+	if code, h := getHealth(); code != http.StatusOK || h.State != HealthOK {
+		t.Fatalf("healthz before drain: %d %+v, want 200 %q", code, h, HealthOK)
+	}
+
+	// Pin an ingest in flight, then begin the drain: health must show
+	// the draining state and the in-flight count while the upload is
+	// still being served.
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.ingestGate = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var status int
+	go func() {
+		defer wg.Done()
+		status, _ = upload(t, ts.URL, mkSnap("hd", 1))
+	}()
+	<-entered
+
+	srv.BeginDrain()
+	if !srv.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	code, h := getHealth()
+	if code != http.StatusServiceUnavailable || h.State != HealthDraining {
+		t.Errorf("healthz mid-drain: %d %+v, want 503 %q", code, h, HealthDraining)
+	}
+	if h.Inflight != 1 {
+		t.Errorf("healthz mid-drain inflight = %d, want 1", h.Inflight)
+	}
+
+	close(hold)
+	wg.Wait()
+	if status != http.StatusCreated {
+		t.Errorf("upload during drain: status %d, want 201", status)
+	}
+	if _, h := getHealth(); h.Inflight != 0 {
+		t.Errorf("healthz after drain settled: inflight %d, want 0", h.Inflight)
 	}
 }
 

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"traceback/internal/telemetry"
+)
+
+// TestCampaignEndToEnd runs a full campaign — every kind, wire phase
+// included — and checks the headline contract: at least six fault
+// kinds exercised end to end, snaps harvested and reconstructed, no
+// invariant violations, and warehouse index parity after a mid-ingest
+// daemon kill.
+func TestCampaignEndToEnd(t *testing.T) {
+	reg := telemetry.New()
+	c, err := New(Config{
+		Seed:      1,
+		Kinds:     []string{"all"},
+		Wire:      true,
+		WorkDir:   t.TempDir(),
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]bool{}
+	for _, tr := range rep.Trials {
+		kinds[tr.Kind] = true
+		if tr.Snaps == 0 {
+			t.Errorf("trial %d (%s/%s): no snaps", tr.Index, tr.Kind, tr.Scenario)
+		}
+		if tr.Events == 0 {
+			t.Errorf("trial %d (%s/%s): no reconstructed events", tr.Index, tr.Kind, tr.Scenario)
+		}
+		if len(tr.FaultLines) == 0 {
+			t.Errorf("trial %d (%s/%s): no fault line identified", tr.Index, tr.Kind, tr.Scenario)
+		}
+		if len(tr.Planned) == 0 {
+			t.Errorf("trial %d (%s/%s): empty schedule", tr.Index, tr.Kind, tr.Scenario)
+		}
+		for _, v := range tr.Violations {
+			t.Errorf("trial %d (%s/%s): %s: %s", tr.Index, tr.Kind, tr.Scenario, v.Invariant, v.Detail)
+		}
+	}
+	if rep.Wire != nil {
+		kinds[KindCollect] = true
+	}
+	if len(kinds) < 6 {
+		t.Errorf("only %d fault kind(s) covered: %v", len(kinds), kinds)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("campaign reports %d violation(s)", rep.Violations)
+	}
+
+	if rep.Wire == nil {
+		t.Fatal("wire phase did not run")
+	}
+	if !rep.Wire.IndexParity {
+		t.Error("warehouse index differs from direct local ingest")
+	}
+	if rep.Wire.KillAtUpload == 0 {
+		t.Error("collect kind scheduled but daemon was never killed mid-ingest")
+	}
+	if rep.Wire.Spooled == 0 || rep.Wire.Blobs != rep.Wire.Spooled {
+		t.Errorf("wire: spooled %d, blobs %d; want equal and nonzero", rep.Wire.Spooled, rep.Wire.Blobs)
+	}
+
+	if !strings.Contains(rep.Repro, "tbfault run -seed 1") {
+		t.Errorf("repro line %q lacks the seed", rep.Repro)
+	}
+
+	// fault_* telemetry is live on the shared registry, asserted by
+	// name exactly like the coll_* counters are in internal/collect.
+	counters := map[string]bool{ // name -> must be nonzero
+		"fault_trials_total":             true,
+		"fault_injected_total":           true,
+		"fault_kills_total":              true,
+		"fault_signals_total":            true,
+		"fault_rpc_total":                true,
+		"fault_unloads_total":            true,
+		"fault_managed_interrupts_total": true,
+		"fault_snaps_total":              true,
+		"fault_collect_kills_total":      true,
+		"fault_violations_total":         false,
+	}
+	for name, nonzero := range counters {
+		v := reg.Counter(name, "").Load()
+		if nonzero && v == 0 {
+			t.Errorf("counter %s = 0, want > 0", name)
+		}
+		if !nonzero && v != 0 {
+			t.Errorf("counter %s = %d, want 0", name, v)
+		}
+	}
+}
+
+// TestCampaignDeterminism: the same seed yields a byte-identical
+// report; a different seed yields a different fault schedule. This is
+// the repro contract regression snaps rely on.
+func TestCampaignDeterminism(t *testing.T) {
+	run := func(seed int64) []byte {
+		c, err := New(Config{Seed: seed, Kinds: []string{KindKill, KindSignal, "rpc"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a1 := run(7)
+	a2 := run(7)
+	if !bytes.Equal(a1, a2) {
+		t.Errorf("same seed, different reports:\n--- run 1\n%s\n--- run 2\n%s", a1, a2)
+	}
+	b := run(8)
+	if bytes.Equal(a1, b) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+// TestKindExpansion covers the CLI kind grammar.
+func TestKindExpansion(t *testing.T) {
+	all, err := ExpandKinds(nil)
+	if err != nil || len(all) != len(AllKinds) {
+		t.Fatalf("ExpandKinds(nil) = %v, %v", all, err)
+	}
+	rpc, err := ExpandKinds([]string{"rpc", "kill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{KindKill, KindRPCDrop, KindRPCDelay, KindRPCDup}
+	if len(rpc) != len(want) {
+		t.Fatalf("ExpandKinds(rpc,kill) = %v, want %v", rpc, want)
+	}
+	for i := range want {
+		if rpc[i] != want[i] {
+			t.Fatalf("ExpandKinds(rpc,kill) = %v, want %v", rpc, want)
+		}
+	}
+	if _, err := ExpandKinds([]string{"nope"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

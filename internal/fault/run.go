@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"traceback/internal/module"
+	"traceback/internal/mvm"
+	"traceback/internal/recon"
+	"traceback/internal/scenario"
+	"traceback/internal/snap"
+	"traceback/internal/tbrt"
+	"traceback/internal/vm"
+	"traceback/internal/workload"
+)
+
+// wrapConfig is the tiny-buffer runtime configuration the wrap kind
+// uses: small enough that the cross-machine server wraps its buffer
+// several times before faulting, exercising the committed-sub-buffer
+// recovery path.
+func wrapConfig() *tbrt.Config {
+	return &tbrt.Config{BufferWords: 128, SubBuffers: 4, Policy: tbrt.DefaultPolicy()}
+}
+
+func buildScenario(name string, opts scenario.Options) (*scenario.Setup, error) {
+	for _, b := range scenario.Builders {
+		if b.Name == name {
+			return b.Build(opts)
+		}
+	}
+	return nil, fmt.Errorf("fault: unknown scenario %q", name)
+}
+
+// baselineFor measures (and caches) the uninjected span of a
+// scenario under a config class, so fault times land inside it.
+func (c *Campaign) baselineFor(scen string, opts scenario.Options) (baseline, error) {
+	key := scen
+	if opts.Config != nil {
+		key += "/wrap"
+	}
+	if bl, ok := c.spans[key]; ok {
+		return bl, nil
+	}
+	setup, err := buildScenario(scen, opts)
+	if err != nil {
+		return baseline{}, err
+	}
+	ct := &counter{}
+	setup.World.SetInjector(ct)
+	setup.Run(0)
+	bl := baseline{quanta: ct.quanta, rpcCalls: ct.calls}
+	c.spans[key] = bl
+	return bl, nil
+}
+
+// Artifact is the evidence bundle of one violating trial: the snaps
+// and mapfiles to commit as a regression case, plus the repro line.
+type Artifact struct {
+	TrialIndex int
+	Scenario   string
+	Kind       string
+	Snaps      []*snap.Snap
+	Maps       []*module.MapFile
+	Repro      string
+}
+
+// runTrial executes one (kind, scenario) trial under its sub-seed and
+// returns the report row plus the harvest for the wire phase.
+func (c *Campaign) runTrial(idx int, kind, scen string, sub int64) (*TrialReport, []*snap.Snap, []*module.MapFile, error) {
+	if kind == KindManaged {
+		return c.runManaged(idx, sub)
+	}
+	opts := scenario.Options{}
+	if kind == KindWrap {
+		opts.Config = wrapConfig()
+	}
+	bl, err := c.baselineFor(scen, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	setup, err := buildScenario(scen, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	roles := sortedRoles(setup.Procs)
+	rng := rand.New(rand.NewSource(sub))
+	p := buildPlan(kind, roles, bl, rng)
+	in := &injector{c: c, setup: setup, p: p}
+	setup.World.SetInjector(in)
+	c.met.trials.Inc()
+	setup.Run(0)
+
+	// The deadlock scenario's hang detector (and any runtime that
+	// registered with a service) gets its post-run heartbeat check,
+	// as in the uninjected scenario.
+	if setup.Service != nil && len(roles) > 0 {
+		m := setup.Procs[roles[0]].Machine
+		m.SetClock(m.Clock() + 200_000)
+		setup.Service.CheckStatus()
+	}
+
+	// Harvest: policy snaps from each runtime, plus a post-mortem
+	// pull from every process — the collect path a fleet agent runs
+	// after the incident. The post-mortems matter beyond kill -9:
+	// cross-machine causality checks need each peer's final SYNC
+	// history, not just the mid-flight exception snaps.
+	var snaps []*snap.Snap
+	wraps := 0
+	for _, role := range roles {
+		rt := setup.Runtimes[role]
+		snaps = append(snaps, rt.Snaps()...)
+		if pm := rt.PostMortemSnap(); pm != nil {
+			snaps = append(snaps, pm)
+		}
+		wraps += rt.Wraps()
+	}
+	c.met.snaps.Add(uint64(len(snaps)))
+
+	tr := &TrialReport{
+		Index:    idx,
+		Scenario: scen,
+		Kind:     kind,
+		SubSeed:  sub,
+		Planned:  p.schedule,
+		Fired:    in.fired,
+		Snaps:    len(snaps),
+	}
+	ms := recon.NewMapSet(setup.Maps...)
+	c.checkTrial(tr, snaps, ms, wraps)
+	return tr, snaps, setup.Maps, nil
+}
+
+// runManaged executes the managed-runtime trial: the PetShop workload
+// under an asynchronous interrupt at a seeded quantum — the managed
+// analog of a signal storm, snapped by the uncaught-exception policy.
+func (c *Campaign) runManaged(idx int, sub int64) (*TrialReport, []*snap.Snap, []*module.MapFile, error) {
+	mod := workload.PetShopModule()
+	im, mf, err := mvm.Instrument(mod, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	const workers, requests = 2, 40
+	build := func() (*mvm.VM, []*mvm.MThread, error) {
+		world := vm.NewWorld(88)
+		mach := world.NewMachine("petshop-host", 0)
+		v := mvm.New(mach, nil, "petshop", mvm.RuntimeConfig{SnapOnUncaught: true})
+		if _, err := v.Load(im); err != nil {
+			return nil, nil, err
+		}
+		var threads []*mvm.MThread
+		for i := 0; i < workers; i++ {
+			th, err := v.Start("worker", requests)
+			if err != nil {
+				return nil, nil, err
+			}
+			threads = append(threads, th)
+		}
+		return v, threads, nil
+	}
+	allDone := func(threads []*mvm.MThread) func() bool {
+		return func() bool {
+			for _, th := range threads {
+				if th.State != mvm.MDone {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// Baseline span in managed quanta.
+	key := "petshop"
+	bl, ok := c.spans[key]
+	if !ok {
+		v, threads, err := build()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var q uint64
+		v.OnQuantum = func(*mvm.VM) { q++ }
+		v.Run(1<<30, allDone(threads))
+		bl = baseline{quanta: q}
+		c.spans[key] = bl
+	}
+
+	rng := rand.New(rand.NewSource(sub))
+	at := window(rng, bl.quanta)
+	victim := 1 + rng.Intn(workers)
+	v, threads, err := build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tr := &TrialReport{
+		Index:    idx,
+		Scenario: "petshop",
+		Kind:     KindManaged,
+		SubSeed:  sub,
+		Planned:  []string{fmt.Sprintf("q=%d interrupt petshop t%d", at, victim)},
+	}
+	var q uint64
+	fired := false
+	v.OnQuantum = func(v *mvm.VM) {
+		q++
+		if !fired && q >= at {
+			fired = true
+			v.Interrupt(victim, mvm.ExcInterrupted)
+			c.met.interrupts.Inc()
+			c.met.injected.Inc()
+			tr.Fired = append(tr.Fired, fmt.Sprintf("q=%d interrupt petshop t%d", q, victim))
+			c.rec.Record(0, "fault-inject", tr.Fired[len(tr.Fired)-1])
+		}
+	}
+	c.met.trials.Inc()
+	v.Run(1<<30, allDone(threads))
+
+	snaps := v.Runtime().Snaps()
+	c.met.snaps.Add(uint64(len(snaps)))
+	tr.Snaps = len(snaps)
+	maps := []*module.MapFile{mf}
+	c.checkTrial(tr, snaps, recon.NewMapSet(maps...), 0)
+	return tr, snaps, maps, nil
+}

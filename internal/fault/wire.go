@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"traceback/internal/archive"
+	"traceback/internal/collect"
+	"traceback/internal/recon"
+	"traceback/internal/snap"
+)
+
+// crashProxy fronts the collection daemon and simulates a daemon
+// crash: on the killAt-th upload it lets the inner handler finish —
+// so the ingest's journal append lands, exactly the paper's abrupt
+// death after durable work — then severs the connection without a
+// response and goes dark until restarted. While dark, every
+// connection is severed, which is what a killed daemon looks like to
+// the agent: retryable transport errors, never a clean HTTP error.
+type crashProxy struct {
+	mu      sync.Mutex
+	inner   http.Handler
+	down    bool
+	uploads int
+	killAt  int
+	killed  chan struct{}
+}
+
+func (cp *crashProxy) swap(h http.Handler) {
+	cp.mu.Lock()
+	cp.inner = h
+	cp.down = false
+	cp.mu.Unlock()
+}
+
+func (cp *crashProxy) sever(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	panic(http.ErrAbortHandler)
+}
+
+func (cp *crashProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	cp.mu.Lock()
+	if cp.down {
+		cp.mu.Unlock()
+		cp.sever(w)
+		return
+	}
+	inner := cp.inner
+	kill := false
+	if r.Method == http.MethodPost && r.URL.Path == collect.PathSnap {
+		cp.uploads++
+		kill = cp.killAt > 0 && cp.uploads == cp.killAt
+		if kill {
+			cp.down = true
+		}
+	}
+	cp.mu.Unlock()
+	if kill {
+		// The ingest completes (journal append lands) but the daemon
+		// dies before answering — the agent must keep the snap
+		// spooled and retry against the restarted daemon.
+		rec := &discardResponse{}
+		inner.ServeHTTP(rec, r)
+		close(cp.killed)
+		cp.sever(w)
+		return
+	}
+	inner.ServeHTTP(w, r)
+}
+
+// discardResponse swallows the response the dying daemon never sent.
+type discardResponse struct{ h http.Header }
+
+func (d *discardResponse) Header() http.Header {
+	if d.h == nil {
+		d.h = http.Header{}
+	}
+	return d.h
+}
+func (d *discardResponse) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponse) WriteHeader(int)             {}
+
+// runWire pushes every campaign snap through the collection plane —
+// spool → agent → daemon → warehouse — with a seeded daemon kill
+// mid-ingest when the collect kind is scheduled, and asserts the
+// warehouse index is byte-identical to a direct local ingest.
+func (c *Campaign) runWire(snaps []*snap.Snap, maps recon.MapResolver, rng *rand.Rand, collectKind bool) (*WireReport, []Violation, error) {
+	work := c.cfg.WorkDir
+	if work == "" {
+		return nil, nil, fmt.Errorf("fault: wire phase needs Config.WorkDir")
+	}
+	var viols []Violation
+	violate := func(inv, detail string) {
+		viols = append(viols, Violation{Invariant: inv, Detail: detail})
+		c.met.violations.Inc()
+		c.rec.Record(0, "fault-violation", inv+": "+detail)
+	}
+
+	// Spool everything; content addressing collapses duplicates, and
+	// the agent drains in sorted-hash order, so the upload sequence
+	// is deterministic.
+	spool := filepath.Join(work, "spool")
+	bySum := map[string]*snap.Snap{}
+	for _, s := range snaps {
+		sum, _, err := archive.ChecksumSnap(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		bySum[sum] = s
+		if _, err := collect.Spool(spool, s); err != nil {
+			return nil, nil, err
+		}
+	}
+	sums := make([]string, 0, len(bySum))
+	for sum := range bySum {
+		sums = append(sums, sum)
+	}
+	sort.Strings(sums)
+	wr := &WireReport{Spooled: len(sums)}
+
+	// Direct local ingest: the oracle the wire path must match.
+	direct, err := archive.Open(filepath.Join(work, "direct"))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, sum := range sums {
+		s := bySum[sum]
+		if _, err := direct.IngestUnique(s, archive.SignSnap(s, maps)); err != nil {
+			direct.Close()
+			return nil, nil, err
+		}
+	}
+	directIndex, err := direct.IndexBytes()
+	if err != nil {
+		direct.Close()
+		return nil, nil, err
+	}
+	if err := direct.Close(); err != nil {
+		return nil, nil, err
+	}
+
+	// The wire warehouse and its daemon, behind the crash proxy.
+	wareDir := filepath.Join(work, "warehouse")
+	arch1, err := archive.Open(wareDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	srvOpts := collect.ServerOptions{Maps: maps}
+	proxy := &crashProxy{inner: collect.NewServer(arch1, srvOpts).Handler(), killed: make(chan struct{})}
+	if collectKind && len(sums) >= 2 {
+		proxy.killAt = 1 + rng.Intn(len(sums))
+	}
+	wr.KillAtUpload = proxy.killAt
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: proxy}
+	go hs.Serve(l)
+	defer hs.Close()
+
+	// Restart path: when the kill fires, the dead daemon's archive is
+	// abandoned without Close — crash semantics — and a fresh daemon
+	// opens the same directory, recovering state by journal replay.
+	final := arch1
+	restarted := make(chan error, 1)
+	if proxy.killAt > 0 {
+		go func() {
+			select {
+			case <-proxy.killed:
+			case <-time.After(2 * time.Minute):
+				restarted <- fmt.Errorf("fault: daemon kill never fired")
+				return
+			}
+			c.met.collKills.Inc()
+			c.rec.Record(0, "fault-collect-kill", fmt.Sprintf("daemon killed on upload %d", proxy.killAt))
+			arch2, err := archive.Open(wareDir)
+			if err != nil {
+				restarted <- err
+				return
+			}
+			final = arch2
+			proxy.swap(collect.NewServer(arch2, srvOpts).Handler())
+			restarted <- nil
+		}()
+	}
+
+	agent := collect.NewAgent(spool, "http://"+l.Addr().String(), collect.AgentOptions{
+		Client:      &http.Client{Timeout: 30 * time.Second},
+		BackoffBase: time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Seed:        rng.Int63() | 1,
+		Telemetry:   c.reg,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := agent.Drain(ctx); err != nil {
+		return nil, nil, fmt.Errorf("fault: agent drain: %w", err)
+	}
+	if proxy.killAt > 0 {
+		if err := <-restarted; err != nil {
+			return nil, nil, err
+		}
+	}
+
+	wireIndex, err := final.IndexBytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	wr.Blobs = final.NumBlobs()
+	wr.Buckets = len(final.Buckets())
+	if err := final.Close(); err != nil {
+		return nil, nil, err
+	}
+
+	wr.IndexParity = bytes.Equal(wireIndex, directIndex)
+	if !wr.IndexParity {
+		violate(InvIndexParity, fmt.Sprintf("wire index (%d bytes) differs from direct ingest (%d bytes) after %d upload(s)",
+			len(wireIndex), len(directIndex), wr.Spooled))
+	}
+
+	// Leave the work dir inspectable on violation, clean otherwise.
+	if len(viols) == 0 {
+		os.RemoveAll(filepath.Join(work, "direct"))
+	}
+	return wr, viols, nil
+}

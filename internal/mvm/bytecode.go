@@ -104,12 +104,13 @@ const (
 
 // Managed exception codes.
 const (
-	ExcArith      = 101 // ArithmeticException
-	ExcNull       = 102 // NullPointerException
-	ExcBounds     = 103 // ArrayIndexOutOfBoundsException
-	ExcNegSize    = 104 // NegativeArraySizeException
-	ExcIllegalArg = 105 // IllegalArgumentException (negative sleep)
-	ExcNativeDied = 106 // native callee crashed under a JNI call
+	ExcArith       = 101 // ArithmeticException
+	ExcNull        = 102 // NullPointerException
+	ExcBounds      = 103 // ArrayIndexOutOfBoundsException
+	ExcNegSize     = 104 // NegativeArraySizeException
+	ExcIllegalArg  = 105 // IllegalArgumentException (negative sleep)
+	ExcNativeDied  = 106 // native callee crashed under a JNI call
+	ExcInterrupted = 107 // asynchronous interrupt (VM.Interrupt)
 )
 
 // ExcName names a managed exception code.
@@ -127,6 +128,8 @@ func ExcName(code int) string {
 		return "IllegalArgumentException"
 	case ExcNativeDied:
 		return "NativeCrashError"
+	case ExcInterrupted:
+		return "InterruptedException"
 	}
 	return fmt.Sprintf("ManagedException(%d)", code)
 }

@@ -42,6 +42,16 @@ type VM struct {
 	// probe overhead is relatively smaller — Table 3's 16–25% vs
 	// SPECint's 60%).
 	Cycles uint64
+
+	// OnQuantum, when set, fires at the top of every Run quantum —
+	// the managed VM's preemption point, where fault-injection
+	// harnesses kill the VM (Halted) or raise async exceptions
+	// (Interrupt). Nil in normal operation.
+	OnQuantum func(v *VM)
+
+	// pending holds asynchronous exceptions to deliver at the next
+	// quantum, keyed by TID (Interrupt).
+	pending map[int]int
 }
 
 // LoadedMod is one managed module load.
@@ -488,6 +498,10 @@ func (v *VM) throw(t *MThread, code int) {
 // first thread's exit sets Exited but live threads keep running.
 func (v *VM) Run(maxSteps int, done func() bool) {
 	for i := 0; i < maxSteps; i++ {
+		if v.OnQuantum != nil {
+			v.OnQuantum(v)
+		}
+		v.deliverInterrupts()
 		if v.Halted || (done != nil && done()) {
 			return
 		}
@@ -514,6 +528,42 @@ func (v *VM) Run(maxSteps int, done func() bool) {
 			}
 			return
 		}
+	}
+}
+
+// Interrupt schedules exception code to be thrown asynchronously on
+// thread tid at the next scheduling quantum — the managed analog of
+// vm.Machine.InjectSignal. Delivery goes through the normal throw
+// path: the runtime sees it first-chance (exception record + snap
+// policy), then handlers or thread death.
+func (v *VM) Interrupt(tid, code int) {
+	if v.pending == nil {
+		v.pending = map[int]int{}
+	}
+	v.pending[tid] = code
+}
+
+// deliverInterrupts throws pending async exceptions on their target
+// threads (ascending TID for determinism) at the quantum boundary,
+// where no bytecode is mid-flight.
+func (v *VM) deliverInterrupts() {
+	if len(v.pending) == 0 {
+		return
+	}
+	for tid := 1; tid <= v.nextTID; tid++ {
+		code, ok := v.pending[tid]
+		if !ok {
+			continue
+		}
+		delete(v.pending, tid)
+		t := v.threads[tid]
+		if t == nil || t.State == MDone || len(t.frames) == 0 {
+			continue
+		}
+		if t.State == MSleeping {
+			t.State = MRunnable
+		}
+		v.throw(t, code)
 	}
 }
 

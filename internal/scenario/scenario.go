@@ -5,6 +5,14 @@
 // re-run reproduces byte-identical snaps — which is exactly what the
 // warehouse's signature-stability and dedup guarantees are tested
 // against (and what tools/gensnaps commits under snaps/).
+//
+// Each scenario is split into build (compile, create the world,
+// start threads) and run (drive the world, harvest snaps) so that
+// harnesses can perturb the built world before running it — the
+// fault-injection campaign (internal/fault) installs a vm.Injector
+// and shrinks trace buffers between the two phases. The one-call
+// Quickstart/CrossMachine/Deadlock wrappers preserve the original
+// deterministic behavior byte for byte.
 package scenario
 
 import (
@@ -27,6 +35,63 @@ type Built struct {
 	Name  string
 	Snaps []*snap.Snap
 	Maps  []*module.MapFile
+}
+
+// Options perturbs how a scenario is built. The zero value reproduces
+// the committed fleet exactly.
+type Options struct {
+	// Config overrides the runtime configuration of every process in
+	// the scenario (nil: tbrt.Config{Policy: tbrt.DefaultPolicy()},
+	// the original). Fault campaigns use tiny BufferWords here for
+	// wrap stress.
+	Config *tbrt.Config
+}
+
+func (o Options) config() tbrt.Config {
+	if o.Config != nil {
+		return *o.Config
+	}
+	return tbrt.Config{Policy: tbrt.DefaultPolicy()}
+}
+
+// Setup is a built-but-not-yet-run scenario: the world exists, every
+// process's main thread is started, and nothing has executed. A
+// harness may install a vm.Injector on World (or otherwise perturb
+// state) before calling Run.
+type Setup struct {
+	Name  string
+	World *vm.World
+	// Procs and Runtimes key the scenario's processes by role name
+	// (e.g. "app", "petstore", "petclient", "bank").
+	Procs    map[string]*vm.Process
+	Runtimes map[string]*tbrt.Runtime
+	Maps     []*module.MapFile
+	// MaxSteps is the default quantum budget for Run.
+	MaxSteps int
+	// Service is the machine-local watchdog (deadlock scenario only).
+	Service *service.Service
+
+	done    func(*Setup) bool
+	collect func(*Setup) *Built
+}
+
+// Run drives the world until the scenario's completion condition,
+// nothing can run, or maxSteps quanta pass (0: the scenario default).
+func (s *Setup) Run(maxSteps int) {
+	if maxSteps <= 0 {
+		maxSteps = s.MaxSteps
+	}
+	s.World.Run(maxSteps, func() bool { return s.done(s) })
+}
+
+// Collect harvests the scenario's snaps per its original semantics
+// (hang checks included). Call after Run.
+func (s *Setup) Collect() (*Built, error) {
+	b := s.collect(s)
+	if len(b.Snaps) == 0 {
+		return nil, fmt.Errorf("scenario: %s produced no snap", s.Name)
+	}
+	return b, nil
 }
 
 // Root locates the repository root (the directory holding go.mod) by
@@ -66,9 +131,9 @@ func compile(root, name, file, relPath string) (*module.Module, *core.Result, er
 	return mod, res, nil
 }
 
-// Quickstart reproduces examples/quickstart: a latent divide-by-zero
+// BuildQuickstart builds examples/quickstart: a latent divide-by-zero
 // triggered in production mode, snapped at the first-chance exception.
-func Quickstart() (*Built, error) {
+func BuildQuickstart(opts Options) (*Setup, error) {
 	root, err := Root()
 	if err != nil {
 		return nil, err
@@ -79,7 +144,7 @@ func Quickstart() (*Built, error) {
 	}
 	world := vm.NewWorld(1)
 	machine := world.NewMachine("prod-host", 0)
-	proc, rt, err := tbrt.NewProcess(machine, "app", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	proc, rt, err := tbrt.NewProcess(machine, "app", opts.config())
 	if err != nil {
 		return nil, err
 	}
@@ -89,18 +154,34 @@ func Quickstart() (*Built, error) {
 	if _, err := proc.StartMain(1); err != nil {
 		return nil, err
 	}
-	vm.RunProcess(proc, 1_000_000)
-	if len(rt.Snaps()) == 0 {
-		return nil, fmt.Errorf("scenario: quickstart produced no snap")
-	}
-	return &Built{Name: "quickstart", Snaps: rt.Snaps(), Maps: []*module.MapFile{res.Map}}, nil
+	return &Setup{
+		Name:     "quickstart",
+		World:    world,
+		Procs:    map[string]*vm.Process{"app": proc},
+		Runtimes: map[string]*tbrt.Runtime{"app": rt},
+		Maps:     []*module.MapFile{res.Map},
+		MaxSteps: 1_000_000,
+		done:     func(*Setup) bool { return proc.Exited },
+		collect: func(s *Setup) *Built {
+			return &Built{Name: s.Name, Snaps: rt.Snaps(), Maps: s.Maps}
+		},
+	}, nil
 }
 
-// CrossMachine reproduces examples/crossmachine: a pet-store server
+// Quickstart reproduces examples/quickstart end to end.
+func Quickstart() (*Built, error) {
+	s, err := BuildQuickstart(Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.Run(0)
+	return s.Collect()
+}
+
+// BuildCrossMachine builds examples/crossmachine: a pet-store server
 // faulting inside a string library while serving a client on another
-// machine; both sides' post-mortem snaps are returned (the server's
-// exception snap too, if taken).
-func CrossMachine() (*Built, error) {
+// machine.
+func BuildCrossMachine(opts Options) (*Setup, error) {
 	root, err := Root()
 	if err != nil {
 		return nil, err
@@ -121,7 +202,7 @@ func CrossMachine() (*Built, error) {
 	world := vm.NewWorld(6)
 	clientBox := world.NewMachine("client-box", 0)
 	serverBox := world.NewMachine("server-box", 7500)
-	serverProc, serverRT, err := tbrt.NewProcess(serverBox, "petstore", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	serverProc, serverRT, err := tbrt.NewProcess(serverBox, "petstore", opts.config())
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +212,7 @@ func CrossMachine() (*Built, error) {
 	if _, err := serverProc.Load(serverRes.Module); err != nil {
 		return nil, err
 	}
-	clientProc, clientRT, err := tbrt.NewProcess(clientBox, "petclient", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	clientProc, clientRT, err := tbrt.NewProcess(clientBox, "petclient", opts.config())
 	if err != nil {
 		return nil, err
 	}
@@ -145,22 +226,45 @@ func CrossMachine() (*Built, error) {
 	if _, err := clientProc.StartMain(0); err != nil {
 		return nil, err
 	}
-	world.Run(5_000_000, func() bool { return clientProc.Exited && serverProc.Exited })
-
-	b := &Built{
-		Name: "crossmachine",
-		Maps: []*module.MapFile{strlibRes.Map, serverRes.Map, clientRes.Map},
-	}
-	// The server snapped at its first-chance SIGSEGV during the run;
-	// the post-mortem pulls add each side's final state.
-	exc := append([]*snap.Snap(nil), serverRT.Snaps()...)
-	b.Snaps = append(exc, serverRT.PostMortemSnap(), clientRT.PostMortemSnap())
-	return b, nil
+	return &Setup{
+		Name:  "crossmachine",
+		World: world,
+		Procs: map[string]*vm.Process{
+			"petstore": serverProc, "petclient": clientProc,
+		},
+		Runtimes: map[string]*tbrt.Runtime{
+			"petstore": serverRT, "petclient": clientRT,
+		},
+		Maps:     []*module.MapFile{strlibRes.Map, serverRes.Map, clientRes.Map},
+		MaxSteps: 5_000_000,
+		done:     func(*Setup) bool { return clientProc.Exited && serverProc.Exited },
+		collect: func(s *Setup) *Built {
+			b := &Built{Name: s.Name, Maps: s.Maps}
+			// The server snapped at its first-chance SIGSEGV during
+			// the run; the post-mortem pulls add each side's final
+			// state.
+			exc := append([]*snap.Snap(nil), serverRT.Snaps()...)
+			b.Snaps = append(exc, serverRT.PostMortemSnap(), clientRT.PostMortemSnap())
+			return b
+		},
+	}, nil
 }
 
-// Deadlock reproduces examples/deadlock: a lock-order inversion with
+// CrossMachine reproduces examples/crossmachine end to end; both
+// sides' post-mortem snaps are returned (the server's exception snap
+// too, if taken).
+func CrossMachine() (*Built, error) {
+	s, err := BuildCrossMachine(Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.Run(0)
+	return s.Collect()
+}
+
+// BuildDeadlock builds examples/deadlock: a lock-order inversion with
 // no crash, detected by the service heartbeat and snapped as a hang.
-func Deadlock() (*Built, error) {
+func BuildDeadlock(opts Options) (*Setup, error) {
 	root, err := Root()
 	if err != nil {
 		return nil, err
@@ -171,7 +275,7 @@ func Deadlock() (*Built, error) {
 	}
 	world := vm.NewWorld(4)
 	mach := world.NewMachine("prod-host", 0)
-	proc, rt, err := tbrt.NewProcess(mach, "bank", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	proc, rt, err := tbrt.NewProcess(mach, "bank", opts.config())
 	if err != nil {
 		return nil, err
 	}
@@ -183,13 +287,46 @@ func Deadlock() (*Built, error) {
 	if _, err := proc.StartMain(0); err != nil {
 		return nil, err
 	}
-	world.Run(200_000, func() bool { return proc.Exited })
-	mach.SetClock(mach.Clock() + 200_000)
-	svc.CheckStatus()
-	if len(svc.Snaps) == 0 {
+	return &Setup{
+		Name:     "deadlock",
+		World:    world,
+		Procs:    map[string]*vm.Process{"bank": proc},
+		Runtimes: map[string]*tbrt.Runtime{"bank": rt},
+		Maps:     []*module.MapFile{res.Map},
+		MaxSteps: 200_000,
+		Service:  svc,
+		done:     func(*Setup) bool { return proc.Exited },
+		collect: func(s *Setup) *Built {
+			mach.SetClock(mach.Clock() + 200_000)
+			svc.CheckStatus()
+			return &Built{Name: s.Name, Snaps: svc.Snaps, Maps: s.Maps}
+		},
+	}, nil
+}
+
+// Deadlock reproduces examples/deadlock end to end.
+func Deadlock() (*Built, error) {
+	s, err := BuildDeadlock(Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.Run(0)
+	b, err := s.Collect()
+	if err != nil {
 		return nil, fmt.Errorf("scenario: deadlock hang not detected")
 	}
-	return &Built{Name: "deadlock", Snaps: svc.Snaps, Maps: []*module.MapFile{res.Map}}, nil
+	return b, nil
+}
+
+// Builders lists every scenario builder by name, in the committed
+// fleet's canonical order.
+var Builders = []struct {
+	Name  string
+	Build func(Options) (*Setup, error)
+}{
+	{"quickstart", BuildQuickstart},
+	{"crossmachine", BuildCrossMachine},
+	{"deadlock", BuildDeadlock},
 }
 
 // All runs every scenario and merges the outputs.

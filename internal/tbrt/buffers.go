@@ -45,6 +45,15 @@ func (rt *Runtime) resumePoint(b *buffer) uint64 {
 	return b.dataAddr - 4
 }
 
+// Traced reports whether tid has left probation: it owns a real
+// trace buffer and its history is recoverable from a snap. Fault
+// injectors use this to target threads whose snap will carry
+// evidence.
+func (rt *Runtime) Traced(tid int) bool {
+	b := rt.byThread[tid]
+	return b != nil && b.kind != bufProbation
+}
+
 // allocSlot advances the thread's cursor by one record slot, handling
 // sentinel hits (sub-buffer commit / wrap) and returns the slot
 // address. TLS is updated to the slot (it becomes the "last written"

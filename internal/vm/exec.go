@@ -443,6 +443,9 @@ func threadLess(a, b *Thread) bool {
 // thread executes up to Slice instructions. It returns false when no
 // thread could run (all exited, blocked, or sleeping).
 func (m *Machine) Step() bool {
+	if m.World != nil && m.World.injector != nil {
+		m.World.injector.AtQuantum(m)
+	}
 	ts := m.runnable()
 	if len(ts) == 0 {
 		// Advance the clock to the nearest sleeper's wake time so

@@ -56,6 +56,22 @@ func (m *Machine) rpcCall(t *Thread) (stepResult, int) {
 		m.clock += CostNetBase + uint64(len(payload))*CostNetPerKB/1024
 	}
 	msg := &rpcMessage{from: t, payload: payload, ext: ext, deliverAt: deliverAt}
+	// Transport fault injection: the sender has already committed its
+	// SYNC record (it believes the call went out), so drops, delays,
+	// and duplications perturb only what the network delivers.
+	if inj := m.World.injector; inj != nil {
+		f := inj.AtRPC(t, r[isa.A1], false)
+		if f.Drop {
+			t.State = BlockedRPC
+			t.rpcReplyAt = uint32(r[isa.A4])
+			return stepBlocked, 0
+		}
+		msg.deliverAt += f.Delay
+		if f.Duplicate {
+			dup := *msg
+			ep.queue = append(ep.queue, &dup)
+		}
+	}
 	ep.queue = append(ep.queue, msg)
 	// Wake waiting receivers; they re-execute their recv.
 	var keep []*Thread
@@ -132,6 +148,13 @@ func (m *Machine) rpcReply(t *Thread) (stepResult, int) {
 		return stepFault, SigSegv
 	}
 	ext := p.Hooks.OnRPCSend(t, true)
+	// Reply-side drop: the server believes it replied (SYNC written,
+	// status 0) but the caller never wakes — the half-open failure a
+	// hang snap has to diagnose.
+	if inj := m.World.injector; inj != nil && inj.AtRPC(t, r[isa.A1], true).Drop {
+		r[isa.RV] = 0
+		return stepOK, 0
+	}
 
 	caller := msg.from
 	callerProc := caller.Proc

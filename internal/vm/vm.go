@@ -299,6 +299,9 @@ type World struct {
 	Machines  []*Machine
 	endpoints map[uint64]*endpoint
 	seed      int64
+	// injector, when set, is consulted at scheduling quanta and RPC
+	// transport points (see inject.go); nil in normal operation.
+	injector Injector
 }
 
 type endpoint struct {

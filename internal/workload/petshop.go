@@ -51,6 +51,11 @@ func buildPetShop() *mvm.Module {
 	return b.MustBuild()
 }
 
+// PetShopModule exposes the PetShop managed module so harnesses
+// outside the workload tables (the fault-injection campaign) can
+// instrument it and drive it under perturbation.
+func PetShopModule() *mvm.Module { return buildPetShop() }
+
 // PetShopResult compares request throughput.
 type PetShopResult struct {
 	ReqPerSecNormal float64
