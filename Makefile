@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check fault-check gensnaps genregress recon-bench
+.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check fault-check triage-check gensnaps genregress recon-bench
 
 all: build test
 
@@ -42,9 +42,10 @@ check:
 
 # The CI gate: static analysis, instrumentation verification, the
 # race-detector pass (which subsumes plain `go test`), the snap
-# warehouse + collection plane end-to-end checks, and the bounded
-# fault-injection campaign; keep this green before merging.
-ci: vet check test-race store-check collect-check fault-check
+# warehouse + collection plane end-to-end checks, the bounded
+# fault-injection campaign, and the fleet triage loopback gate; keep
+# this green before merging.
+ci: vet check test-race store-check collect-check fault-check triage-check
 
 # Warehouse end-to-end gate: ingest the committed snaps/ fleet plus a
 # fresh re-run of the example scenarios, assert full deduplication and
@@ -74,6 +75,16 @@ fault-check:
 	$(GO) run ./cmd/tbfault run -seed 1 -kinds all -regress fault_evidence
 	$(GO) run ./cmd/tbfault run -seed 2 -kinds kill,signal,rpc,unload,wrap -regress fault_evidence
 	$(GO) run ./cmd/tbfault replay -dir snaps/regressions
+
+# Fleet triage gate: stage a seeded two-phase campaign through a live
+# tbcollectd over loopback — the example scenarios as a steady
+# background across ten rate windows, one seeded tbfault kill trial
+# injected into the newest window only — and assert /v1/regressions
+# flags exactly the injected signatures, local (tbstore-path) triage
+# agrees with the wire, and the journal rebuilds the index (rate
+# windows included) bit-for-bit.
+triage-check:
+	$(GO) run ./tools/triagecheck
 
 # Regenerate the committed example snap fleet (deterministic; only
 # needed when the examples or the instrumentation change).

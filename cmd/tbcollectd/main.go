@@ -7,8 +7,12 @@
 //
 // Routes: HEAD /v1/blob/{sum} (dedup precheck), POST /v1/snap
 // (idempotent gzip upload with hash echo), GET /v1/buckets and
-// /v1/top (fleet triage JSON), GET /metrics (coll_* + arch_*
-// telemetry; ?format=json for JSON), GET /healthz. Uploads beyond
+// /v1/top (fleet triage JSON), GET /v1/regressions (new/spiking
+// classification of every signature), GET /v1/rates?sig=<prefix>
+// (one signature's crash-rate windows), GET /v1/clusters
+// (near-duplicate signature clustering; needs -maps), GET /metrics
+// (coll_* + arch_* + triage_* telemetry; ?format=json for JSON), GET
+// /healthz (state, uptime, warehouse totals). Uploads beyond
 // -inflight concurrent ingests are rejected 429 with Retry-After.
 // SIGINT/SIGTERM drains gracefully: in-flight ingests finish and the
 // store closes with a flushed index.

@@ -6,29 +6,44 @@
 //
 //	tbstore -store wh ingest -maps build -jobs 8 snaps/
 //	tbstore -store wh ls
-//	tbstore -store wh top -n 5
+//	tbstore -store wh top -n 5 -since 500000
 //	tbstore -store wh show -maps build 2e2b7aab
+//	tbstore -store wh regressions
+//	tbstore -store wh rates 2e2b7aab
+//	tbstore -store wh clusters -maps build
+//	tbstore watch -url http://collector:7321
 //	tbstore -store wh gc -max-blobs 1000 -max-bytes 100000000 -keep-reps
 //
 // `show` reconstructs a bucket's representative snap on demand and
 // writes the trace to stdout byte-identically to `tbrecon` on that
 // snap; bucket metadata goes to stderr so the trace stays pipeable.
+//
+// The fleet-health views (`regressions`, `rates`, `clusters`, `top
+// -since`) are deterministic functions of the warehouse index: the
+// same store answers byte-identically however it was ingested, and
+// identically to a tbcollectd daemon serving the same warehouse over
+// /v1/regressions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"traceback/internal/archive"
+	"traceback/internal/collect"
 	"traceback/internal/recon"
 	"traceback/internal/snap"
 	"traceback/internal/telemetry"
+	"traceback/internal/triage"
 )
 
 func main() {
@@ -46,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() < 1 {
-		fmt.Fprintln(stderr, "usage: tbstore [-store dir] <ingest|ls|top|show|gc> [flags] [args]")
+		fmt.Fprintln(stderr, "usage: tbstore [-store dir] <ingest|ls|top|show|regressions|rates|clusters|watch|gc> [flags] [args]")
 		fs.Usage()
 		return 2
 	}
@@ -67,10 +82,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = c.top(rest)
 	case "show":
 		err = c.show(rest)
+	case "regressions":
+		err = c.regressions(rest)
+	case "rates":
+		err = c.rates(rest)
+	case "clusters":
+		err = c.clusters(rest)
+	case "watch":
+		err = c.watch(rest)
 	case "gc":
 		err = c.gc(rest)
 	default:
-		return fail(fmt.Errorf("unknown command %q (want ingest|ls|top|show|gc)", cmd))
+		return fail(fmt.Errorf("unknown command %q (want ingest|ls|top|show|regressions|rates|clusters|watch|gc)", cmd))
 	}
 	if err != nil {
 		return fail(err)
@@ -90,6 +113,7 @@ type cli struct {
 	store          string
 	stdout, stderr io.Writer
 	reg            metricsWriter
+	treg           *telemetry.Registry
 	failed         int
 }
 
@@ -109,6 +133,7 @@ func (c *cli) openArch() (*archive.Archive, error) {
 		return nil, err
 	}
 	c.reg = reg
+	c.treg = reg
 	return arch, nil
 }
 
@@ -260,11 +285,13 @@ func (c *cli) ls(args []string) (err error) {
 	return nil
 }
 
-// top is the triage view: buckets by occurrence count.
+// top is the triage view: buckets by occurrence count (ties broken
+// by signature, so the listing is byte-deterministic).
 func (c *cli) top(args []string) (err error) {
 	fs := flag.NewFlagSet("tbstore top", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
 	n := fs.Int("n", 10, "buckets to show")
+	since := fs.Uint64("since", 0, "only buckets last seen within the newest N snap-time cycles (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -274,6 +301,19 @@ func (c *cli) top(args []string) (err error) {
 	}
 	defer closeArch(arch, &err)
 	buckets := arch.Buckets()
+	if *since > 0 {
+		cut := uint64(0)
+		if newest := arch.NewestTime(); newest > *since {
+			cut = newest - *since
+		}
+		kept := buckets[:0]
+		for _, b := range buckets {
+			if b.LastSeen >= cut {
+				kept = append(kept, b)
+			}
+		}
+		buckets = kept
+	}
 	if *n > 0 && len(buckets) > *n {
 		buckets = buckets[:*n]
 	}
@@ -341,6 +381,153 @@ func (c *cli) show(args []string) (err error) {
 	recon.Render(c.stdout, pt, opts)
 	fmt.Fprintln(c.stdout)
 	return nil
+}
+
+// regressions classifies every bucket against the warehouse's newest
+// snap time. Default output is the flagged set (new + spiking); -all
+// lists every signature with its verdict. Deterministic given the
+// index, and identical to a daemon's /v1/regressions over the same
+// warehouse.
+func (c *cli) regressions(args []string) (err error) {
+	fs := flag.NewFlagSet("tbstore regressions", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	all := fs.Bool("all", false, "list every signature, not only new/spiking")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := c.openArch()
+	if err != nil {
+		return err
+	}
+	defer closeArch(arch, &err)
+	rep := triage.New(arch, nil, triage.Config{}, c.treg).Regressions()
+	rows := rep.Flagged()
+	if *all {
+		rows = rep.Assessments
+	}
+	for _, a := range rows {
+		fmt.Fprintf(c.stdout, "%-8s x%-4d %s  %s  (recent %.2f/win, base %.2f/win)\n",
+			a.Class, a.Recent, a.Sig, a.Title, a.RecentRate, a.BaseRate)
+	}
+	fmt.Fprintf(c.stdout, "%d signature(s), %d flagged; now=%d window=%d\n",
+		len(rep.Assessments), len(rep.Flagged()), rep.Now, rep.Window)
+	return nil
+}
+
+// rates prints one signature's crash-rate histogram and verdict.
+func (c *cli) rates(args []string) (err error) {
+	fs := flag.NewFlagSet("tbstore rates", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("rates: need one bucket signature (prefix ok)")
+	}
+	arch, err := c.openArch()
+	if err != nil {
+		return err
+	}
+	defer closeArch(arch, &err)
+	rr, err := triage.New(arch, nil, triage.Config{}, c.treg).Rates(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(c.stdout, rr)
+	for _, w := range rr.Windows {
+		fmt.Fprintf(c.stdout, "  window %d..%d  x%d\n", w.Start, w.Start+rr.Window-1, w.Count)
+	}
+	return nil
+}
+
+// clusters groups near-duplicate signatures by fault-view similarity;
+// -maps supplies the mapfiles exemplar reconstruction needs.
+func (c *cli) clusters(args []string) (err error) {
+	fs := flag.NewFlagSet("tbstore clusters", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	mapsDir := fs.String("maps", ".", "directory containing *.map.json mapfiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := c.openArch()
+	if err != nil {
+		return err
+	}
+	defer closeArch(arch, &err)
+	loader, err := recon.NewDirLoader(*mapsDir)
+	if err != nil {
+		return err
+	}
+	rep, err := triage.New(arch, recon.NewMapCache(loader.Load), triage.Config{}, c.treg).Clusters()
+	if err != nil {
+		return err
+	}
+	for i, cl := range rep.Clusters {
+		mark := ""
+		if cl.Unclustered {
+			mark = "  (unclustered)"
+		}
+		fmt.Fprintf(c.stdout, "%2d. x%-4d %s  %s%s\n", i+1, cl.Count, cl.Lead, cl.Title, mark)
+		if len(cl.Members) > 1 {
+			for _, m := range cl.Members {
+				fmt.Fprintf(c.stdout, "      x%-4d %s  d=%.3f  %s\n", m.Count, m.Sig, m.Distance, m.Title)
+			}
+		}
+	}
+	fmt.Fprintf(c.stdout, "%d cluster(s) at threshold %.2f\n", len(rep.Clusters), rep.Threshold)
+	return nil
+}
+
+// watch polls a tbcollectd daemon's health and regression views,
+// printing one summary per tick — the terminal dashboard for a fleet
+// collector.
+func (c *cli) watch(args []string) error {
+	fs := flag.NewFlagSet("tbstore watch", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	url := fs.String("url", "http://localhost:7321", "tbcollectd base URL")
+	interval := fs.Duration("interval", 5*time.Second, "poll interval")
+	count := fs.Int("count", 0, "ticks before exiting (0 = forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for tick := 1; *count == 0 || tick <= *count; tick++ {
+		if tick > 1 {
+			time.Sleep(*interval)
+		}
+		c.watchTick(client, strings.TrimRight(*url, "/"), tick)
+	}
+	return nil
+}
+
+func (c *cli) watchTick(client *http.Client, base string, tick int) {
+	var hr collect.HealthResponse
+	if err := getJSON(client, base+collect.PathHealth, &hr); err != nil {
+		fmt.Fprintf(c.stdout, "tick %d: %s unreachable: %v\n", tick, base, err)
+		return
+	}
+	var rep triage.Report
+	if err := getJSON(client, base+collect.PathRegressions, &rep); err != nil {
+		fmt.Fprintf(c.stdout, "tick %d: state=%s (regressions: %v)\n", tick, hr.State, err)
+		return
+	}
+	flagged := rep.Flagged()
+	fmt.Fprintf(c.stdout, "tick %d: state=%s up=%ds buckets=%d blobs=%d bytes=%d inflight=%d flagged=%d\n",
+		tick, hr.State, hr.UptimeSec, hr.Buckets, hr.Blobs, hr.StoredBytes, hr.Inflight, len(flagged))
+	for _, a := range flagged {
+		fmt.Fprintf(c.stdout, "  %-8s x%-4d %s  %s\n", a.Class, a.Recent, a.Sig, a.Title)
+	}
+}
+
+// getJSON fetches and decodes one JSON endpoint; non-2xx statuses
+// with a JSON body (healthz mid-drain answers 503) still decode.
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(into)
 }
 
 func (c *cli) gc(args []string) (err error) {

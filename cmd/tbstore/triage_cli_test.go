@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"traceback/internal/archive"
+	"traceback/internal/collect"
+	"traceback/internal/snap"
+)
+
+// mustRun executes one tbstore invocation and returns stdout.
+func mustRun(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("tbstore %v exited %d: %s", args, code, errBuf.String())
+	}
+	return out.String()
+}
+
+// seedTriageStore builds a warehouse with a steady signature across
+// ten rate windows and a new signature in the newest window only.
+func seedTriageStore(t *testing.T) (store, steadySig, newSig string) {
+	t.Helper()
+	store = filepath.Join(t.TempDir(), "wh")
+	arch, err := archive.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W := archive.WindowWidth
+	mk := func(n int, at uint64) *snap.Snap {
+		return &snap.Snap{Host: "h", Process: "app", PID: 100 + n, RuntimeID: at,
+			Reason: "exception SIGSEGV", Signal: 11, Time: at,
+			Modules: []snap.ModuleInfo{{Name: "app", Checksum: fmt.Sprintf("c%02d", n), DAGCount: 1}}}
+	}
+	steadySig = archive.SignSnap(mk(1, 0), nil).ID
+	newSig = archive.SignSnap(mk(2, 0), nil).ID
+	for win := uint64(0); win < 10; win++ {
+		s := mk(1, win*W+5)
+		if _, err := arch.Ingest(s, archive.SignSnap(s, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := mk(2, 9*W+50)
+	if _, err := arch.Ingest(s, archive.SignSnap(s, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return store, steadySig, newSig
+}
+
+// TestRegressionsSubcommand: the CLI flags the newest-window-only
+// signature and keeps the steady one out of the default listing.
+func TestRegressionsSubcommand(t *testing.T) {
+	store, steadySig, newSig := seedTriageStore(t)
+
+	out := mustRun(t, "-store", store, "regressions")
+	if !strings.Contains(out, "new") || !strings.Contains(out, newSig) {
+		t.Errorf("flagged listing missing the new signature %s:\n%s", newSig, out)
+	}
+	if strings.Contains(out, steadySig) {
+		t.Errorf("steady signature %s in the flagged listing:\n%s", steadySig, out)
+	}
+	if !strings.Contains(out, "2 signature(s), 1 flagged") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+
+	all := mustRun(t, "-store", store, "regressions", "-all")
+	for _, want := range []string{steadySig, newSig, "steady", "new"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("-all listing missing %q:\n%s", want, all)
+		}
+	}
+}
+
+// TestRatesSubcommand: the histogram view prints every retained
+// window and resolves prefixes.
+func TestRatesSubcommand(t *testing.T) {
+	store, steadySig, _ := seedTriageStore(t)
+	out := mustRun(t, "-store", store, "rates", steadySig[:8])
+	if !strings.Contains(out, steadySig+" steady") {
+		t.Errorf("rates header missing verdict:\n%s", out)
+	}
+	if got := strings.Count(out, "window "); got != 10 {
+		t.Errorf("rates printed %d windows, want 10:\n%s", got, out)
+	}
+
+	var errBuf bytes.Buffer
+	if code := run([]string{"-store", store, "rates", "ffffffffffffffff"}, &bytes.Buffer{}, &errBuf); code != 1 {
+		t.Errorf("unknown signature exited %d, want 1", code)
+	}
+}
+
+// TestTopSince: -since restricts the listing to recently-seen
+// buckets; a huge span is a no-op.
+func TestTopSince(t *testing.T) {
+	store, steadySig, newSig := seedTriageStore(t)
+	full := mustRun(t, "-store", store, "top")
+	if got := mustRun(t, "-store", store, "top", "-since", fmt.Sprint(uint64(1)<<62)); got != full {
+		t.Errorf("huge -since changed the listing:\n%s\nvs\n%s", got, full)
+	}
+	// Both buckets were last seen in the newest window, so a one-window
+	// span keeps both; the steady bucket's LastSeen is in window 9 too.
+	_ = steadySig
+	recent := mustRun(t, "-store", store, "top", "-since", fmt.Sprint(archive.WindowWidth))
+	if !strings.Contains(recent, newSig) {
+		t.Errorf("-since dropped the newest bucket:\n%s", recent)
+	}
+
+	// Age the steady bucket out: a store where it stops at window 5.
+	store2 := filepath.Join(t.TempDir(), "wh2")
+	arch, err := archive.Open(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W := archive.WindowWidth
+	mk := func(n int, at uint64) *snap.Snap {
+		return &snap.Snap{Host: "h", Process: "app", PID: 100 + n, RuntimeID: at,
+			Reason: "exception SIGSEGV", Signal: 11, Time: at,
+			Modules: []snap.ModuleInfo{{Name: "app", Checksum: fmt.Sprintf("c%02d", n), DAGCount: 1}}}
+	}
+	old := mk(1, 5*W)
+	if _, err := arch.Ingest(old, archive.SignSnap(old, nil)); err != nil {
+		t.Fatal(err)
+	}
+	oldSig := archive.SignSnap(old, nil).ID
+	fresh := mk(2, 9*W)
+	if _, err := arch.Ingest(fresh, archive.SignSnap(fresh, nil)); err != nil {
+		t.Fatal(err)
+	}
+	freshSig := archive.SignSnap(fresh, nil).ID
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := mustRun(t, "-store", store2, "top", "-since", fmt.Sprint(2*W))
+	if strings.Contains(got, oldSig) {
+		t.Errorf("-since kept a bucket last seen outside the span:\n%s", got)
+	}
+	if !strings.Contains(got, freshSig) {
+		t.Errorf("-since dropped a bucket inside the span:\n%s", got)
+	}
+}
+
+// TestTriageViewsJobsDeterminism: top, regressions -all, and clusters
+// print byte-identical listings whether the fleet was ingested with 1
+// worker or 16 — the satellite (a) guarantee extended to every new
+// subcommand.
+func TestTriageViewsJobsDeterminism(t *testing.T) {
+	snapDir, mapsDir := buildFleet(t)
+	outputs := map[string][]string{}
+	for _, jobs := range []string{"1", "4", "16"} {
+		store := filepath.Join(t.TempDir(), "wh")
+		mustRun(t, "-store", store, "ingest", "-maps", mapsDir, "-jobs", jobs, snapDir)
+		for _, sub := range [][]string{
+			{"top", "-n", "0"},
+			{"regressions", "-all"},
+			{"clusters", "-maps", mapsDir},
+		} {
+			key := sub[0]
+			outputs[key] = append(outputs[key], mustRun(t, append([]string{"-store", store}, sub...)...))
+		}
+	}
+	for key, outs := range outputs {
+		for i := 1; i < len(outs); i++ {
+			if outs[i] != outs[0] {
+				t.Errorf("%s output differs across -jobs widths:\n%s\nvs\n%s", key, outs[0], outs[i])
+			}
+		}
+	}
+}
+
+// TestWatchSubcommand: watch polls a live daemon and prints one
+// summary per tick with the health totals and flagged regressions.
+func TestWatchSubcommand(t *testing.T) {
+	store, _, newSig := seedTriageStore(t)
+	arch, err := archive.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	srv := collect.NewServer(arch, collect.ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	out := mustRun(t, "watch", "-url", ts.URL, "-interval", "1ms", "-count", "2")
+	for _, want := range []string{"tick 1:", "tick 2:", "state=ok", "buckets=2", "blobs=11", "flagged=1", newSig} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A dead daemon degrades to an unreachable note, not a failure.
+	ts.Close()
+	down := mustRun(t, "watch", "-url", ts.URL, "-interval", "1ms", "-count", "1")
+	if !strings.Contains(down, "unreachable") {
+		t.Errorf("watch against a dead daemon:\n%s", down)
+	}
+}

@@ -421,6 +421,13 @@ func (a *Archive) ref(sum string) (BlobRef, bool) {
 	return BlobRef{}, false
 }
 
+// NumBuckets reports the number of distinct crash signatures.
+func (a *Archive) NumBuckets() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.st.buckets)
+}
+
 // NumBlobs reports resident blob count.
 func (a *Archive) NumBlobs() int {
 	a.mu.Lock()
@@ -619,5 +626,6 @@ func cloneBucket(b *Bucket) Bucket {
 	c := *b
 	c.Hosts = append([]string(nil), b.Hosts...)
 	c.Snaps = append([]BlobRef(nil), b.Snaps...)
+	c.Windows = append([]RateWindow(nil), b.Windows...)
 	return c
 }

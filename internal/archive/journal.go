@@ -165,6 +165,12 @@ type Bucket struct {
 	FirstSeen uint64   `json:"firstSeen"`
 	LastSeen  uint64   `json:"lastSeen"`
 	Hosts     []string `json:"hosts"`
+	// Windows is the bucket's crash-rate histogram: one entry per
+	// WindowWidth-cycle window that saw an ingest, sorted by Start,
+	// bounded to the WindowCap newest windows (see windows.go). Like
+	// Count, it tallies ingest events, so duplicates count every
+	// occurrence; unlike Snaps, GC never rewrites history here.
+	Windows []RateWindow `json:"windows,omitempty"`
 	// Rep is the representative blob: the earliest-seen snap (ties
 	// broken by checksum), the one `tbstore show` reconstructs.
 	Rep   string    `json:"rep,omitempty"`
@@ -233,6 +239,7 @@ func (st *state) apply(rec *JournalRecord) (newBucket bool) {
 		if rec.Time > b.LastSeen {
 			b.LastSeen = rec.Time
 		}
+		b.Windows = addWindow(b.Windows, rec.Time)
 		b.Hosts = insertSorted(b.Hosts, rec.Host)
 		if _, dup := st.blobs[rec.Sum]; !dup {
 			ref := BlobRef{
@@ -280,11 +287,13 @@ func (st *state) apply(rec *JournalRecord) (newBucket bool) {
 }
 
 // index serializes the state in its canonical order: buckets by
-// signature, hosts sorted, snaps by (time, sum).
+// signature, hosts sorted, snaps by (time, sum), windows by start.
+// Buckets are deep-copied so the caller can encode the result after
+// releasing the archive lock.
 func (st *state) index() *Index {
 	idx := &Index{V: formatVersion, Buckets: make([]Bucket, 0, len(st.buckets))}
 	for _, b := range st.buckets {
-		idx.Buckets = append(idx.Buckets, *b)
+		idx.Buckets = append(idx.Buckets, cloneBucket(b))
 	}
 	sort.Slice(idx.Buckets, func(i, j int) bool { return idx.Buckets[i].Sig < idx.Buckets[j].Sig })
 	return idx

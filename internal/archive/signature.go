@@ -62,15 +62,26 @@ func reasonKind(reason string) string {
 	return reason
 }
 
-// FromTrace fingerprints a reconstructed snap. The thread chosen is
-// the trigger thread when the snap names one, else the first faulted
-// thread, else the first thread with history — the same priority the
-// fault-directed display uses.
-func FromTrace(pt *recon.ProcessTrace) Signature {
-	s := pt.Snap
+// FaultView is the fault-directed sequence a signature hashes and the
+// triage clustering distance compares: the call hierarchy above the
+// fault (innermost first) and the block path of line events leading
+// into it (fault first, Repeat counts excluded).
+type FaultView struct {
+	Frames []Frame
+	// Path entries are "module:file:line" block identities, newest
+	// (faulting) first.
+	Path []string
+}
+
+// FaultViewOf extracts the fault-directed view from a reconstructed
+// snap. The thread chosen is the trigger thread when the snap names
+// one, else the first faulted thread, else the first thread with
+// history — the same priority the fault-directed display uses. ok is
+// false when no line history exists (weak-signature territory).
+func FaultViewOf(pt *recon.ProcessTrace) (FaultView, bool) {
 	t := pickThread(pt)
 	if t == nil || len(t.Events) == 0 {
-		return weakSignature(s)
+		return FaultView{}, false
 	}
 
 	v := recon.NewView(t)
@@ -83,7 +94,7 @@ func FromTrace(pt *recon.ProcessTrace) Signature {
 	}
 	cur := v.Current()
 	if cur == nil || cur.Kind != recon.EvLine {
-		return weakSignature(s)
+		return FaultView{}, false
 	}
 
 	// Call hierarchy above the fault: step back out repeatedly, taking
@@ -106,14 +117,27 @@ func FromTrace(pt *recon.ProcessTrace) Signature {
 			path = append(path, fmt.Sprintf("%s:%s:%d", e.Module, e.File, e.Line))
 		}
 	}
+	return FaultView{Frames: frames, Path: path}, true
+}
+
+// FromTrace fingerprints a reconstructed snap from its fault-directed
+// view, falling back to the weak metadata signature when the snap has
+// no line history.
+func FromTrace(pt *recon.ProcessTrace) Signature {
+	s := pt.Snap
+	fv, ok := FaultViewOf(pt)
+	if !ok {
+		return weakSignature(s)
+	}
+	cur := fv.Frames[0]
 
 	h := sha256.New()
 	fmt.Fprintf(h, "kind=%s signal=%d\n", reasonKind(s.Reason), s.Signal)
 	fmt.Fprintf(h, "module=%s checksum=%s\n", cur.Module, checksumOf(s, cur.Module))
-	for _, p := range path {
+	for _, p := range fv.Path {
 		fmt.Fprintf(h, "path %s\n", p)
 	}
-	for _, f := range frames {
+	for _, f := range fv.Frames {
 		fmt.Fprintf(h, "frame %s\n", f)
 	}
 
@@ -125,7 +149,7 @@ func FromTrace(pt *recon.ProcessTrace) Signature {
 	return Signature{
 		ID:     hex.EncodeToString(h.Sum(nil))[:16],
 		Title:  title,
-		Frames: frames,
+		Frames: fv.Frames,
 	}
 }
 

@@ -1,0 +1,114 @@
+// Crash-rate windows: each bucket carries a time-bucketed occurrence
+// histogram alongside its total count, so the triage layer
+// (internal/triage) can tell a steady background fault from one that
+// is new or spiking without re-reading the journal. Time is the
+// snap's VM-cycle clock (the only clock the system has), chopped into
+// fixed-width windows; a bucket retains its most recent WindowCap
+// windows.
+//
+// The histogram is part of the index, so it must share the index's
+// central property: the reduction is order-independent. That holds
+// because the retained set is a pure function of the multiset of
+// ingest times — window w survives iff w lies within WindowCap
+// windows of the newest window the bucket ever saw — and a record is
+// counted iff its window survives. Whether a stale record is dropped
+// on arrival (the newest window was already known) or folded in and
+// evicted later (the newest window arrived afterwards), the final
+// windows are identical, so any -jobs width and any journal replay
+// yield byte-identical indexes.
+package archive
+
+import "sort"
+
+const (
+	// WindowWidth is the rate-window span in snap-time cycles. The
+	// example scenarios run 0.2–5M cycles, so 100k-cycle windows give
+	// a fleet run tens of windows of resolution.
+	WindowWidth uint64 = 100_000
+	// WindowCap bounds the windows a bucket retains: occurrences older
+	// than WindowCap windows behind the bucket's newest window fall
+	// out of the histogram (the total Count still remembers them).
+	WindowCap = 64
+)
+
+// RateWindow is one fixed-width time bucket of ingest occurrences.
+// Start is the window's inclusive start time, a multiple of
+// WindowWidth; Count is how many ingest events landed in
+// [Start, Start+WindowWidth).
+type RateWindow struct {
+	Start uint64 `json:"start"`
+	Count uint64 `json:"count"`
+}
+
+// windowStart floors a snap time to its window's start.
+func windowStart(t uint64) uint64 { return t - t%WindowWidth }
+
+// horizonStart is the oldest window start still retained given the
+// newest window start seen — windows strictly older than
+// newest-(WindowCap-1) windows are evicted.
+func horizonStart(newest uint64) uint64 {
+	span := uint64(WindowCap-1) * WindowWidth
+	if newest < span {
+		return 0
+	}
+	return newest - span
+}
+
+// addWindow folds one ingest occurrence at time t into a sorted
+// window list, evicting anything that falls off the horizon. The
+// result depends only on the multiset of times folded in, never on
+// their order (see the package comment of this file).
+func addWindow(ws []RateWindow, t uint64) []RateWindow {
+	w := windowStart(t)
+	newest := w
+	if n := len(ws); n > 0 && ws[n-1].Start > newest {
+		newest = ws[n-1].Start
+	}
+	if w >= horizonStart(newest) {
+		i := sort.Search(len(ws), func(i int) bool { return ws[i].Start >= w })
+		if i < len(ws) && ws[i].Start == w {
+			ws[i].Count++
+		} else {
+			ws = append(ws, RateWindow{})
+			copy(ws[i+1:], ws[i:])
+			ws[i] = RateWindow{Start: w, Count: 1}
+		}
+	}
+	// Evict from the old end; the list is sorted by Start.
+	h := horizonStart(newest)
+	drop := 0
+	for drop < len(ws) && ws[drop].Start < h {
+		drop++
+	}
+	if drop > 0 {
+		ws = append(ws[:0], ws[drop:]...)
+	}
+	return ws
+}
+
+// WindowCount sums a bucket's occurrences in windows whose start lies
+// in [from, to] (inclusive on both ends, in window-start units).
+func (b *Bucket) WindowCount(from, to uint64) uint64 {
+	var n uint64
+	for _, w := range b.Windows {
+		if w.Start >= from && w.Start <= to {
+			n += w.Count
+		}
+	}
+	return n
+}
+
+// NewestTime reports the newest snap time any bucket has seen — the
+// deterministic "now" every rate and regression computation measures
+// against (0 when the archive is empty).
+func (a *Archive) NewestTime() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var newest uint64
+	for _, b := range a.st.buckets {
+		if b.LastSeen > newest {
+			newest = b.LastSeen
+		}
+	}
+	return newest
+}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -401,8 +402,15 @@ func (a *Agent) processFile(ctx context.Context, path string) (outcome, time.Dur
 		return outRetry, 0, fmt.Errorf("upload: daemon error %s", resp.Status)
 	default:
 		// A definitive 4xx: the daemon examined this snap and refused.
-		// Retrying identical bytes cannot succeed; keep the evidence.
-		return a.quarantine(path, fmt.Errorf("upload rejected: %s", resp.Status))
+		// Retrying identical bytes cannot succeed; keep the evidence,
+		// and keep the daemon's explanation next to it — by the time a
+		// human opens the quarantine, the daemon's logs may be gone.
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		cause := fmt.Errorf("upload rejected: %s", resp.Status)
+		if t := strings.TrimSpace(string(snippet)); t != "" {
+			cause = fmt.Errorf("upload rejected: %s: %s", resp.Status, t)
+		}
+		return a.quarantine(path, cause)
 	}
 }
 
@@ -423,6 +431,10 @@ func (a *Agent) quarantine(path string, cause error) (outcome, time.Duration, er
 	if err := os.Rename(path, filepath.Join(dir, filepath.Base(path))); err != nil {
 		return outRetry, 0, err
 	}
+	// Sidecar the cause next to the evidence. Best effort: the snap is
+	// already safely parked, and a failed note must not resurrect it.
+	reason := filepath.Join(dir, filepath.Base(path)+".reason")
+	_ = os.WriteFile(reason, []byte(cause.Error()+"\n"), 0o644)
 	a.met.quarantined.Inc()
 	a.rec.Record(0, "coll-agent-quarantine", filepath.Base(path)+": "+cause.Error())
 	return outQuarantined, 0, nil

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -418,11 +419,12 @@ func TestAgentQuarantinesUnreadableSnap(t *testing.T) {
 
 // TestAgentQuarantinesDefinitiveRejection: a 4xx verdict from the
 // daemon means retrying identical bytes cannot succeed; the agent
-// parks the snap instead of spinning on it.
+// parks the snap instead of spinning on it, and sidecars the daemon's
+// verdict (status + response snippet) next to the evidence.
 func TestAgentQuarantinesDefinitiveRejection(t *testing.T) {
 	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodPost {
-			http.Error(w, "forbidden", http.StatusForbidden)
+			http.Error(w, "signature policy: snap class forbidden", http.StatusForbidden)
 			return
 		}
 		w.WriteHeader(http.StatusNotFound) // precheck: not stored
@@ -440,6 +442,34 @@ func TestAgentQuarantinesDefinitiveRejection(t *testing.T) {
 	}
 	if n := spoolLen(t, spool); n != 0 {
 		t.Errorf("spool still holds %d file(s)", n)
+	}
+
+	// Exactly one quarantined snap plus its .reason sidecar, holding
+	// the HTTP status and the daemon's explanation.
+	qdir := filepath.Join(spool, quarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasonFile, snapFile string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".reason") {
+			reasonFile = e.Name()
+		} else {
+			snapFile = e.Name()
+		}
+	}
+	if snapFile == "" || reasonFile != snapFile+".reason" {
+		t.Fatalf("quarantine holds %v, want <snap> and <snap>.reason", entries)
+	}
+	reason, err := os.ReadFile(filepath.Join(qdir, reasonFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"403", "signature policy: snap class forbidden"} {
+		if !strings.Contains(string(reason), want) {
+			t.Errorf("reason %q missing %q", reason, want)
+		}
 	}
 }
 

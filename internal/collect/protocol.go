@@ -37,6 +37,13 @@ const (
 	// mirrors of `tbstore ls` / `tbstore top`.
 	PathBuckets = "/" + APIVersion + "/buckets"
 	PathTop     = "/" + APIVersion + "/top"
+	// PathRegressions, PathRates, and PathClusters are the fleet-health
+	// views (internal/triage): the regression classification of every
+	// bucket, one signature's crash-rate windows (?sig=<prefix>), and
+	// the similarity clustering of near-duplicate signatures.
+	PathRegressions = "/" + APIVersion + "/regressions"
+	PathRates       = "/" + APIVersion + "/rates"
+	PathClusters    = "/" + APIVersion + "/clusters"
 	// PathMetrics and PathHealth are unversioned operational routes.
 	PathMetrics = "/metrics"
 	PathHealth  = "/healthz"
@@ -83,9 +90,18 @@ const (
 // HealthResponse is the daemon's answer to GET /healthz. State
 // distinguishes a live daemon from one mid-drain; Inflight counts
 // ingests currently holding a semaphore slot (drain watchers poll it
-// toward zero).
+// toward zero). The warehouse totals give fleet dashboards a one-call
+// growth view without walking /v1/buckets.
 type HealthResponse struct {
 	V        int    `json:"v"`
 	State    string `json:"state"`
 	Inflight int    `json:"inflight"`
+	// UptimeSec is whole seconds since the daemon was built.
+	UptimeSec int64 `json:"uptimeSec"`
+	// Buckets / Blobs / StoredBytes are the warehouse totals: distinct
+	// crash signatures, resident content-addressed snaps, and their
+	// on-disk bytes.
+	Buckets     int   `json:"buckets"`
+	Blobs       int   `json:"blobs"`
+	StoredBytes int64 `json:"storedBytes"`
 }

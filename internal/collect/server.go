@@ -15,6 +15,7 @@ import (
 	"traceback/internal/recon"
 	"traceback/internal/snap"
 	"traceback/internal/telemetry"
+	"traceback/internal/triage"
 )
 
 // ServerOptions configures a collection daemon.
@@ -31,6 +32,9 @@ type ServerOptions struct {
 	RetryAfter time.Duration
 	// Telemetry is the registry coll_ metrics land in (nil: private).
 	Telemetry *telemetry.Registry
+	// Triage overrides the fleet-health thresholds for /v1/regressions
+	// and /v1/clusters (zero value: triage defaults).
+	Triage triage.Config
 }
 
 // Server fronts an archive.Archive with the collection protocol. It
@@ -48,6 +52,8 @@ type Server struct {
 	mux      *http.ServeMux
 	hs       *http.Server
 	draining atomic.Bool
+	started  time.Time
+	triage   *triage.Analyzer
 
 	reg *telemetry.Registry
 	rec *telemetry.Recorder
@@ -93,7 +99,9 @@ func NewServer(arch *archive.Archive, opts ServerOptions) *Server {
 		retryAfter: opts.RetryAfter,
 		reg:        reg,
 		rec:        reg.Recorder(256),
+		started:    time.Now(),
 	}
+	s.triage = triage.New(arch, opts.Maps, opts.Triage, reg)
 	s.met = serverMetrics{
 		uploads:      reg.Counter("coll_uploads_total", "snaps ingested over the wire"),
 		uploadDups:   reg.Counter("coll_upload_dups_total", "uploads replaying content already resident (idempotent no-ops)"),
@@ -113,6 +121,9 @@ func NewServer(arch *archive.Archive, opts ServerOptions) *Server {
 	mux.HandleFunc("POST "+PathSnap, s.handleUpload)
 	mux.HandleFunc("GET "+PathBuckets, s.handleBuckets)
 	mux.HandleFunc("GET "+PathTop, s.handleTop)
+	mux.HandleFunc("GET "+PathRegressions, s.handleRegressions)
+	mux.HandleFunc("GET "+PathRates, s.handleRates)
+	mux.HandleFunc("GET "+PathClusters, s.handleClusters)
 	mux.HandleFunc("GET "+PathMetrics, s.handleMetrics)
 	mux.HandleFunc("GET "+PathHealth, s.handleHealth)
 	s.mux = mux
@@ -263,6 +274,41 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, TopResponse{V: 1, Buckets: buckets})
 }
 
+// handleRegressions serves the regression classification of every
+// bucket — deterministic given the warehouse index, so a fleet
+// queried over the wire triages identically to `tbstore regressions`
+// on the archive directory.
+func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.triage.Regressions())
+}
+
+// handleRates serves one signature's crash-rate windows;
+// ?sig=<prefix> resolves like `tbstore show`.
+func (s *Server) handleRates(w http.ResponseWriter, r *http.Request) {
+	sig := r.URL.Query().Get("sig")
+	if sig == "" {
+		http.Error(w, "missing sig parameter", http.StatusBadRequest)
+		return
+	}
+	rep, err := s.triage.Rates(sig)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleClusters serves the similarity clustering of the warehouse's
+// signatures.
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.triage.Clusters()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
 // handleMetrics serves the shared registry: Prometheus text by
 // default, JSON (with the flight-recorder dump) for ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -284,7 +330,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		state, code = HealthDraining, http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, HealthResponse{V: 1, State: state, Inflight: len(s.sem)})
+	writeJSON(w, code, HealthResponse{
+		V: 1, State: state, Inflight: len(s.sem),
+		UptimeSec:   int64(time.Since(s.started) / time.Second),
+		Buckets:     s.arch.NumBuckets(),
+		Blobs:       s.arch.NumBlobs(),
+		StoredBytes: s.arch.StoredBytes(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,128 @@
+package collect
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"traceback/internal/archive"
+	"traceback/internal/triage"
+)
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHealthzTotals: /healthz carries uptime and the warehouse totals
+// alongside the drain state.
+func TestHealthzTotals(t *testing.T) {
+	srv, ts, _ := newTestDaemon(t, ServerOptions{})
+	for i := 0; i < 3; i++ {
+		if code, _ := upload(t, ts.URL, mkSnap("h", i)); code != http.StatusCreated {
+			t.Fatalf("upload %d: status %d", i, code)
+		}
+	}
+	var hr HealthResponse
+	if code := getJSON(t, ts.URL+PathHealth, &hr); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if hr.State != HealthOK {
+		t.Errorf("state = %q, want ok", hr.State)
+	}
+	if hr.Blobs != 3 || hr.Buckets != 3 {
+		t.Errorf("totals = %d buckets / %d blobs, want 3 / 3", hr.Buckets, hr.Blobs)
+	}
+	if hr.StoredBytes <= 0 {
+		t.Errorf("storedBytes = %d, want > 0", hr.StoredBytes)
+	}
+	if hr.UptimeSec < 0 {
+		t.Errorf("uptimeSec = %d, want >= 0", hr.UptimeSec)
+	}
+	_ = srv
+}
+
+// TestRegressionsEndpointTwoPhase: the acceptance property on the
+// wire path — a signature uploaded only in the newest rate window is
+// flagged by GET /v1/regressions while a signature present in every
+// window stays steady.
+func TestRegressionsEndpointTwoPhase(t *testing.T) {
+	_, ts, _ := newTestDaemon(t, ServerOptions{})
+	W := archive.WindowWidth
+
+	// Steady traffic: one signature, one distinct snap per window 0..9
+	// (Time participates in the content address but not the weak
+	// signature, so each upload journals a fresh occurrence of the
+	// same bucket).
+	steady := mkSnap("h", 1)
+	steadySig := archive.SignSnap(steady, nil).ID
+	for win := uint64(0); win < 10; win++ {
+		s := mkSnap("h", 1)
+		s.Time = win*W + 10
+		if code, _ := upload(t, ts.URL, s); code != http.StatusCreated {
+			t.Fatalf("steady upload at window %d: status %d", win, code)
+		}
+	}
+	// The regression: a different signature, newest window only.
+	inj := mkSnap("h", 2)
+	inj.Time = 9*W + 20
+	injSig := archive.SignSnap(inj, nil).ID
+	if code, _ := upload(t, ts.URL, inj); code != http.StatusCreated {
+		t.Fatalf("injected upload: status %d", code)
+	}
+
+	var rep triage.Report
+	if code := getJSON(t, ts.URL+PathRegressions, &rep); code != http.StatusOK {
+		t.Fatalf("regressions status %d", code)
+	}
+	classes := map[string]triage.Class{}
+	for _, a := range rep.Assessments {
+		classes[a.Sig] = a.Class
+	}
+	if got := classes[injSig]; got != triage.ClassNew {
+		t.Errorf("injected signature %s = %q, want new", injSig, got)
+	}
+	if got := classes[steadySig]; got.Flagged() {
+		t.Errorf("steady signature %s flagged %q", steadySig, got)
+	}
+
+	// The rates view resolves a prefix and returns the full histogram.
+	var rr triage.RateReport
+	if code := getJSON(t, ts.URL+PathRates+"?sig="+steadySig[:6], &rr); code != http.StatusOK {
+		t.Fatalf("rates status %d", code)
+	}
+	if len(rr.Windows) != 10 || rr.Assessment.Sig != steadySig {
+		t.Errorf("rates = %d windows for %s, want 10 for %s", len(rr.Windows), rr.Assessment.Sig, steadySig)
+	}
+	if code := getJSON(t, ts.URL+PathRates+"?sig=ffffffffffffffff", &rr); code != http.StatusNotFound {
+		t.Errorf("unknown sig: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+PathRates, &rr); code != http.StatusBadRequest {
+		t.Errorf("missing sig param: status %d, want 400", code)
+	}
+
+	// Clusters: weak buckets (no maps on this daemon) come back as
+	// unclustered singletons rather than disappearing.
+	var cr triage.ClusterReport
+	if code := getJSON(t, ts.URL+PathClusters, &cr); code != http.StatusOK {
+		t.Fatalf("clusters status %d", code)
+	}
+	if len(cr.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2 singletons", len(cr.Clusters))
+	}
+	for _, c := range cr.Clusters {
+		if !c.Unclustered {
+			t.Errorf("weak bucket %s not marked unclustered", c.Lead)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package triage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"traceback/internal/archive"
+	"traceback/internal/snap"
+)
+
+func tok(s string, w float64) token { return token{s: s, w: w} }
+
+// TestDistanceProperties: the metric's anchor points — identity is 0,
+// one changed caller frame on a short stack is a large move, a single
+// far-from-fault path divergence is a small one, disjoint sequences
+// approach 1.
+func TestDistanceProperties(t *testing.T) {
+	a := []token{tok("f main", frameWeight), tok("f handler", frameWeight),
+		tok("p m:f.c:10", pathWeight), tok("p m:f.c:20", pathWeight)}
+	sum := func(ts []token) float64 {
+		var s float64
+		for _, x := range ts {
+			s += x.w
+		}
+		return s
+	}
+	if d := distance(a, a, sum(a), sum(a)); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+
+	// Same frames, one differing path block: small distance.
+	b := append([]token(nil), a...)
+	b[3] = tok("p m:f.c:99", pathWeight)
+	if d := distance(a, b, sum(a), sum(b)); d <= 0 || d > 0.2 {
+		t.Errorf("near-dup distance = %v, want (0, 0.2]", d)
+	}
+
+	// Different caller frame: well above the near-dup move.
+	c := append([]token(nil), a...)
+	c[1] = tok("f other", frameWeight)
+	dNear := distance(a, b, sum(a), sum(b))
+	dFrame := distance(a, c, sum(a), sum(c))
+	if dFrame <= dNear {
+		t.Errorf("changed frame (%v) should out-distance changed path block (%v)", dFrame, dNear)
+	}
+
+	// Disjoint sequences: everything substituted.
+	d2 := []token{tok("f x", frameWeight), tok("f y", frameWeight),
+		tok("p q:1", pathWeight), tok("p q:2", pathWeight)}
+	if d := distance(a, d2, sum(a), sum(d2)); d < 0.4 {
+		t.Errorf("disjoint distance = %v, want >= 0.4", d)
+	}
+
+	// Symmetry.
+	if d1, d3 := distance(a, c, sum(a), sum(c)), distance(c, a, sum(c), sum(a)); d1 != d3 {
+		t.Errorf("distance not symmetric: %v vs %v", d1, d3)
+	}
+}
+
+// TestPathDecay: tokens far from the fault weigh less, so a
+// divergence pathDecay*2 steps up the path moves the distance less
+// than the same divergence adjacent to the fault.
+func TestPathDecay(t *testing.T) {
+	long := func(diverge int) []token {
+		ts := []token{tok("f main", frameWeight)}
+		for i := 0; i < pathDecay*3; i++ {
+			s := "p m:f.c:10"
+			if i == diverge {
+				s = "p m:f.c:666"
+			}
+			w := pathWeight / float64(uint(1)<<uint(i/pathDecay))
+			ts = append(ts, tok(s, w))
+		}
+		return ts
+	}
+	sum := func(ts []token) float64 {
+		var s float64
+		for _, x := range ts {
+			s += x.w
+		}
+		return s
+	}
+	base := long(-1)
+	nearFault := long(0)
+	farFault := long(pathDecay * 2)
+	dn := distance(base, nearFault, sum(base), sum(nearFault))
+	df := distance(base, farFault, sum(base), sum(farFault))
+	if df >= dn {
+		t.Errorf("far-from-fault divergence (%v) should move less than near-fault (%v)", df, dn)
+	}
+}
+
+// TestClustersWeakUnclustered: weak buckets (no reconstructable
+// exemplar) come back as Unclustered singletons rather than being
+// merged or dropped.
+func TestClustersWeakUnclustered(t *testing.T) {
+	arch, err := archive.Open(filepath.Join(t.TempDir(), "wh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	for i, sig := range []string{"aaaa000000000000", "bbbb000000000000"} {
+		s := &snap.Snap{Host: "h", Process: "app", Reason: "exception SIGSEGV", PID: i + 1}
+		if _, err := arch.Ingest(s, archive.Signature{ID: sig, Title: "weak " + sig, Weak: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an := New(arch, nil, Config{}, nil)
+	rep, err := an.Clusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2 singletons", len(rep.Clusters))
+	}
+	for _, c := range rep.Clusters {
+		if !c.Unclustered {
+			t.Errorf("weak singleton %s not marked unclustered", c.Lead)
+		}
+		if len(c.Members) != 1 || c.Members[0].Distance != -1 {
+			t.Errorf("weak singleton %s members = %+v", c.Lead, c.Members)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// triagecheck is the fleet triage CI gate (`make triage-check`): it
+// stages a seeded two-phase crash campaign through a live tbcollectd
+// daemon over loopback TCP and asserts the regression detector sees
+// exactly what was staged:
+//
+//   - phase 1 uploads the committed example scenarios' snaps into
+//     every one of the ten newest rate windows (snap times are the
+//     only clock; each copy is a distinct content address, so every
+//     upload journals a fresh occurrence) — the steady background;
+//   - phase 2 uploads the snaps of one seeded tbfault campaign trial
+//     (kill -9 of the quickstart app, fixed seed) into the newest
+//     window only — the injected regression;
+//   - GET /v1/regressions must flag every campaign-only signature as
+//     new/spiking and must not flag any steady signature;
+//   - after a graceful drain, the same classification computed from
+//     the store directory (the `tbstore regressions` path) must flag
+//     the identical signature set — wire and local triage agree;
+//   - the index rebuilt from the journal alone must be byte-identical
+//     to the live index, rate windows included.
+//
+// The campaign is seeded and snap times are synthetic, so the whole
+// gate is deterministic. Any violation exits nonzero with a diagnosis.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"traceback/internal/archive"
+	"traceback/internal/collect"
+	"traceback/internal/fault"
+	"traceback/internal/scenario"
+	"traceback/internal/snap"
+	"traceback/internal/triage"
+)
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "triagecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+const (
+	campaignSeed = 3
+	horizon      = 10 // windows of steady background
+)
+
+func main() {
+	builts, err := scenario.All()
+	if err != nil {
+		die("building scenarios: %v", err)
+	}
+	maps := scenario.MapSet(builts...)
+
+	camp, err := fault.New(fault.Config{
+		Seed: campaignSeed, Kinds: []string{fault.KindKill}, Scenarios: []string{"quickstart"},
+	})
+	if err != nil {
+		die("building campaign: %v", err)
+	}
+	_, faultSnaps, faultMaps, err := camp.Trial(fault.KindKill, "quickstart")
+	if err != nil {
+		die("campaign trial: %v", err)
+	}
+	if len(faultSnaps) == 0 {
+		die("campaign trial produced no snaps")
+	}
+	for _, mf := range faultMaps {
+		maps.Add(mf)
+	}
+
+	store, err := os.MkdirTemp("", "triagecheck-*")
+	if err != nil {
+		die("%v", err)
+	}
+	defer os.RemoveAll(store)
+	arch, err := archive.Open(store)
+	if err != nil {
+		die("opening store: %v", err)
+	}
+	srv := collect.NewServer(arch, collect.ServerOptions{Maps: maps, MaxInflight: 8})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die("listen: %v", err)
+	}
+	base := "http://" + l.Addr().String()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	W := archive.WindowWidth
+
+	// Phase 1: steady background — every scenario snap, every window.
+	steady := map[string]bool{}
+	for win := uint64(0); win < horizon; win++ {
+		for _, b := range builts {
+			for _, s := range b.Snaps {
+				cp := *s
+				cp.Time = win*W + W/4
+				steady[archive.SignSnap(&cp, maps).ID] = true
+				upload(base, &cp)
+			}
+		}
+	}
+	// Phase 2: the seeded campaign's snaps, newest window only.
+	injected := map[string]bool{}
+	for _, s := range faultSnaps {
+		cp := *s
+		cp.Time = (horizon-1)*W + W/2
+		if id := archive.SignSnap(&cp, maps).ID; !steady[id] {
+			injected[id] = true
+		}
+		upload(base, &cp)
+	}
+	if len(injected) == 0 {
+		die("seed %d campaign signatures all collide with the baseline; the gate needs a campaign-only signature", campaignSeed)
+	}
+
+	// The wire verdict.
+	wireFlagged := fetchFlagged(base)
+	for sig := range injected {
+		if !wireFlagged[sig] {
+			die("/v1/regressions did not flag injected campaign signature %s", sig)
+		}
+	}
+	for sig := range steady {
+		if wireFlagged[sig] {
+			die("/v1/regressions flagged steady baseline signature %s", sig)
+		}
+	}
+
+	// Drain and flush.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		die("drain: %v", err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		die("serve: %v", err)
+	}
+	if err := arch.Close(); err != nil {
+		die("closing store: %v", err)
+	}
+
+	// Local triage over the reopened store (the tbstore path) must
+	// flag the identical set, and the journal must reproduce the index
+	// bit-for-bit, rate windows included.
+	arch2, err := archive.Open(store)
+	if err != nil {
+		die("reopening store: %v", err)
+	}
+	rep := triage.Classify(arch2.Buckets(), arch2.NewestTime(), triage.Defaults())
+	localFlagged := map[string]bool{}
+	for _, a := range rep.Flagged() {
+		localFlagged[a.Sig] = true
+	}
+	for sig := range wireFlagged {
+		if !localFlagged[sig] {
+			die("wire flagged %s but local triage did not", sig)
+		}
+	}
+	for sig := range localFlagged {
+		if !wireFlagged[sig] {
+			die("local triage flagged %s but the wire did not", sig)
+		}
+	}
+	live, err := arch2.IndexBytes()
+	if err != nil {
+		die("%v", err)
+	}
+	rebuilt, err := arch2.RebuildIndexBytes()
+	if err != nil {
+		die("%v", err)
+	}
+	if !bytes.Equal(live, rebuilt) {
+		die("journal-rebuilt index differs from live index")
+	}
+	if err := arch2.Close(); err != nil {
+		die("%v", err)
+	}
+
+	fmt.Printf("triagecheck: OK — %d steady signature(s) over %d windows, %d injected flagged on wire and locally, journal-rebuild identical\n",
+		len(steady), horizon, len(injected))
+}
+
+// upload POSTs one snap the way tbagent does (gzip body + claimed
+// content address) and dies on anything but a 2xx with a matching
+// hash echo.
+func upload(base string, s *snap.Snap) {
+	sum, _, err := archive.ChecksumSnap(s)
+	if err != nil {
+		die("checksum: %v", err)
+	}
+	var body bytes.Buffer
+	if err := s.SaveCompressed(&body); err != nil {
+		die("encoding snap: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+collect.PathSnap, &body)
+	if err != nil {
+		die("%v", err)
+	}
+	req.Header.Set("Content-Type", "application/gzip")
+	req.Header.Set(collect.HeaderSum, sum)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		die("upload: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		die("upload: status %s", resp.Status)
+	}
+	var ur collect.UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		die("upload response: %v", err)
+	}
+	if ur.Sum != sum {
+		die("hash echo %q does not match %q", ur.Sum, sum)
+	}
+}
+
+// fetchFlagged pulls /v1/regressions and returns the flagged set.
+func fetchFlagged(base string) map[string]bool {
+	resp, err := http.Get(base + collect.PathRegressions)
+	if err != nil {
+		die("regressions: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		die("regressions: status %s", resp.Status)
+	}
+	var rep triage.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		die("regressions: %v", err)
+	}
+	out := map[string]bool{}
+	for _, a := range rep.Flagged() {
+		out[a.Sig] = true
+	}
+	return out
+}
