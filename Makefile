@@ -29,7 +29,11 @@ vet:
 # Instrumentation-invariant verification: every example program must
 # instrument to a module tbcheck finds clean, and every seeded-broken
 # module in the verifier's corpus must be flagged (-broken inverts the
-# exit status, so a silently-passing verifier fails the gate).
+# exit status, so a silently-passing verifier fails the gate). The
+# fleet lines do the same cross-module: all examples together must
+# form a clean fleet (no unserved RPC endpoints, no reply-less recv
+# paths, no mining-ambiguous probe words), and every seeded-broken
+# fleet under corpus/fleet/ must be flagged by its pass.
 check:
 	$(GO) run ./cmd/tbcheck examples/*/*.mc
 	$(GO) run ./cmd/tbcheck -broken internal/verify/testdata/corpus/ambiguous-encoding.tbm \
@@ -39,6 +43,11 @@ check:
 		internal/verify/testdata/corpus/missing-bit.tbm \
 		internal/verify/testdata/corpus/missing-probe.tbm
 	$(GO) run ./cmd/tbcheck internal/verify/testdata/corpus/clean.tbm
+	$(GO) run ./cmd/tbcheck -fleet examples/*/*.mc
+	$(GO) run ./cmd/tbcheck -fleet internal/verify/testdata/corpus/fleet/fleet-clean
+	$(GO) run ./cmd/tbcheck -fleet -broken internal/verify/testdata/corpus/fleet/ambiguous-trailer \
+		internal/verify/testdata/corpus/fleet/missing-sync \
+		internal/verify/testdata/corpus/fleet/unserved-endpoint
 
 # The CI gate: static analysis, instrumentation verification, the
 # race-detector pass (which subsumes plain `go test`), the snap
@@ -115,6 +124,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceRecordDecode -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSnapReader -fuzztime $(FUZZTIME) ./internal/snap
 	$(GO) test -run '^$$' -fuzz FuzzMapFileVerify -fuzztime $(FUZZTIME) ./internal/verify
+	$(GO) test -run '^$$' -fuzz FuzzFleetVerify -fuzztime $(FUZZTIME) ./internal/verify/fleet
 	$(GO) test -run '^$$' -fuzz FuzzArchiveIndex -fuzztime $(FUZZTIME) ./internal/archive
 
 # One benchmark per paper table/figure; results land in bench_output.txt.

@@ -166,6 +166,117 @@ func TestCheckBrokenCorpus(t *testing.T) {
 	}
 }
 
+// writeFleetCorpus materializes seed.FleetCases as one directory of
+// .tbm files per case, the layout genbroken commits and -fleet -broken
+// consumes.
+func writeFleetCorpus(t *testing.T) (clean string, broken []string) {
+	t.Helper()
+	dir := t.TempDir()
+	cases, err := seed.FleetCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		caseDir := filepath.Join(dir, c.Name)
+		if err := os.MkdirAll(caseDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, fm := range c.Modules {
+			f, err := os.Create(filepath.Join(caseDir, fm.Name+".tbm"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fm.Module.WriteTo(f); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+		if c.Pass == "" {
+			clean = caseDir
+		} else {
+			broken = append(broken, caseDir)
+		}
+	}
+	if clean == "" || len(broken) == 0 {
+		t.Fatal("fleet corpus lacks a clean or broken case")
+	}
+	return clean, broken
+}
+
+func TestCheckFleetClean(t *testing.T) {
+	clean, _ := writeFleetCorpus(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fleet", clean}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("fleet of 2 module(s) verified clean")) {
+		t.Errorf("missing clean fleet summary in: %s", out.String())
+	}
+}
+
+func TestCheckFleetBrokenCorpus(t *testing.T) {
+	_, broken := writeFleetCorpus(t)
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"-fleet", "-broken"}, broken...), &out, &errb); code != 0 {
+		t.Fatalf("-fleet -broken over seeded corpus: exit %d, stderr: %s", code, errb.String())
+	}
+	// Each broken case is its own fleet and must fail without -broken.
+	for _, caseDir := range broken {
+		out.Reset()
+		errb.Reset()
+		if code := run([]string{"-fleet", caseDir}, &out, &errb); code != 1 {
+			t.Errorf("%s without -broken: exit %d, want 1", caseDir, code)
+		}
+	}
+}
+
+func TestCheckFleetJSON(t *testing.T) {
+	clean, _ := writeFleetCorpus(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fleet", "-json", clean}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var res struct {
+		Modules []string `json:"modules"`
+		Errors  int      `json:"errors"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(res.Modules) != 2 || res.Errors != 0 {
+		t.Errorf("fleet JSON result = %+v", res)
+	}
+}
+
+func TestCheckFleetSourceInputs(t *testing.T) {
+	// .mc inputs are compiled and instrumented in memory, like the
+	// single-module path — one fleet over the crossmachine example.
+	var out, errb bytes.Buffer
+	args := []string{"-fleet",
+		"../../examples/crossmachine/client.mc",
+		"../../examples/crossmachine/server.mc",
+		"../../examples/crossmachine/strlib.mc"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("endpoint 9 by")) {
+		t.Errorf("missing RPC graph summary in: %s", out.String())
+	}
+}
+
+func TestCheckFleetUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fleet", "-passes", "nosuch", "x.tbm"}, &out, &errb); code != 2 {
+		t.Errorf("unknown fleet pass: exit %d, want 2", code)
+	}
+	if code := run([]string{"-fleet", "-map", "m.map.json", "x.tbm"}, &out, &errb); code != 2 {
+		t.Errorf("-fleet with -map: exit %d, want 2", code)
+	}
+	if code := run([]string{"-fleet", "/nonexistent"}, &out, &errb); code != 2 {
+		t.Errorf("unreadable fleet input: exit %d, want 2", code)
+	}
+}
+
 func TestCheckUsageErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(nil, &out, &errb); code != 2 {

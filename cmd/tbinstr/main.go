@@ -5,6 +5,7 @@
 //
 //	tbinstr -o build app.mc
 //	tbinstr -dagbase 4096 -basefile bases.json lib.tbm
+//	tbinstr -o build -fleetwith build/server.tb.tbm client.mc
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"traceback/internal/minic"
 	"traceback/internal/module"
 	"traceback/internal/verify"
+	"traceback/internal/verify/fleet"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		baseFile  = flag.String("basefile", "", "DAG base file (JSON) assigning bases by module name")
 		emitPlain = flag.Bool("emit-module", false, "with .mc input: also write the uninstrumented module")
 		doVerify  = flag.Bool("verify", true, "statically verify the instrumented output; refuse to write on errors")
+		fleetWith = flag.String("fleetwith", "", "comma-separated .tbm peers: cross-module verify the output against them; refuse to write on errors")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -97,6 +100,32 @@ func main() {
 		if !vres.Ok() {
 			fatal(fmt.Errorf("%s failed static verification (%d errors); refusing to write (use -verify=false to override)",
 				mod.Name, vres.NumError))
+		}
+	}
+
+	if *fleetWith != "" {
+		inputs := []fleet.Input{{Module: res.Module, Path: in}}
+		for _, peer := range strings.Split(*fleetWith, ",") {
+			f, err := os.Open(peer)
+			if err != nil {
+				fatal(err)
+			}
+			pm, err := module.Read(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", peer, err))
+			}
+			inputs = append(inputs, fleet.Input{Module: pm, Path: peer})
+		}
+		fres := fleet.Verify(inputs, fleet.Options{})
+		for _, d := range fres.Diags {
+			if d.Severity != verify.SevInfo {
+				fmt.Fprintln(os.Stderr, "tbinstr:", d)
+			}
+		}
+		if !fres.Ok() {
+			fatal(fmt.Errorf("%s failed cross-module verification against %s (%d errors); refusing to write",
+				mod.Name, *fleetWith, fres.NumError))
 		}
 	}
 

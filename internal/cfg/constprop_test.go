@@ -1,0 +1,141 @@
+package cfg
+
+import (
+	"testing"
+
+	"traceback/internal/isa"
+	"traceback/internal/module"
+)
+
+func wantConst(t *testing.T, cp *ConstProp, idx uint32, reg uint8, want int64) {
+	t.Helper()
+	v, ok := cp.RegBefore(idx, reg)
+	if !ok || v != want {
+		t.Errorf("reg r%d before instr %d = (%d, %v), want (%d, true)", reg, idx, v, ok, want)
+	}
+}
+
+func wantUnknown(t *testing.T, cp *ConstProp, idx uint32, reg uint8) {
+	t.Helper()
+	if v, ok := cp.RegBefore(idx, reg); ok {
+		t.Errorf("reg r%d before instr %d = %d, want unknown", reg, idx, v)
+	}
+}
+
+func TestConstPropStackMarshaledSyscallArgs(t *testing.T) {
+	// The MiniC lowering: literals are pushed, then popped into the
+	// argument registers in reverse, then SYS. The endpoint id (77)
+	// must be resolvable at the SYS site in r1.
+	code := []isa.Instr{
+		{Op: isa.MOVI, A: 5, Imm: 77},
+		{Op: isa.PUSH, A: 5},
+		{Op: isa.MOVI, A: 6, Imm: 100},
+		{Op: isa.PUSH, A: 6},
+		{Op: isa.POP, A: isa.A2},
+		{Op: isa.POP, A: isa.A1},
+		{Op: isa.SYS, Imm: isa.SysRPCCall},
+		{Op: isa.RET},
+	}
+	g := mustBuild(t, code, fn("marshal", len(code)))
+	cp := NewConstProp(g, nil)
+	wantConst(t, cp, 6, isa.A1, 77)
+	wantConst(t, cp, 6, isa.A2, 100)
+	// The SYS clobbers r0.
+	wantUnknown(t, cp, 7, isa.RV)
+}
+
+func TestConstPropBranchMeet(t *testing.T) {
+	// Both arms assign the same value: stays constant at the join.
+	same := []isa.Instr{
+		{Op: isa.BEQ, A: 1, B: 2, Imm: 3},
+		{Op: isa.MOVI, A: 4, Imm: 9},
+		{Op: isa.JMP, Imm: 4},
+		{Op: isa.MOVI, A: 4, Imm: 9},
+		{Op: isa.RET},
+	}
+	g := mustBuild(t, same, fn("same", len(same)))
+	wantConst(t, NewConstProp(g, nil), 4, 4, 9)
+
+	// Differing values: unknown at the join.
+	diff := []isa.Instr{
+		{Op: isa.BEQ, A: 1, B: 2, Imm: 3},
+		{Op: isa.MOVI, A: 4, Imm: 9},
+		{Op: isa.JMP, Imm: 4},
+		{Op: isa.MOVI, A: 4, Imm: 10},
+		{Op: isa.RET},
+	}
+	g = mustBuild(t, diff, fn("diff", len(diff)))
+	wantUnknown(t, NewConstProp(g, nil), 4, 4)
+}
+
+func TestConstPropCallClobbers(t *testing.T) {
+	// 0: movi r1,5; 1: movi r8,6; 2: call @5; 3: ret | 4: hlt 5: ret
+	code := []isa.Instr{
+		{Op: isa.MOVI, A: 1, Imm: 5},
+		{Op: isa.MOVI, A: 8, Imm: 6},
+		{Op: isa.CALL, Imm: 5},
+		{Op: isa.RET},
+		{Op: isa.HLT},
+		{Op: isa.RET},
+	}
+	f := module.Func{Name: "caller", Entry: 0, End: 4}
+	g := mustBuild(t, code, f)
+
+	// Plain call: caller-saved r1 dies, callee-saved r8 survives.
+	cp := NewConstProp(g, nil)
+	wantUnknown(t, cp, 3, 1)
+	wantConst(t, cp, 3, 8, 6)
+
+	// Probe-helper call: only RV is clobbered.
+	cp = NewConstProp(g, map[uint32]bool{5: true})
+	wantConst(t, cp, 3, 1, 5)
+	wantConst(t, cp, 3, 8, 6)
+	wantUnknown(t, cp, 3, isa.RV)
+}
+
+func TestConstPropLoopFixpoint(t *testing.T) {
+	// r1 is loop-invariant (7); r2 changes each iteration.
+	code := []isa.Instr{
+		{Op: isa.MOVI, A: 1, Imm: 7},
+		{Op: isa.ADDI, A: 2, B: 2, Imm: 1},
+		{Op: isa.BNE, A: 2, B: 3, Imm: 1},
+		{Op: isa.RET},
+	}
+	g := mustBuild(t, code, fn("loop", len(code)))
+	cp := NewConstProp(g, nil)
+	wantConst(t, cp, 3, 1, 7)
+	wantUnknown(t, cp, 3, 2)
+}
+
+func TestConstPropStackSmashOnFrameStore(t *testing.T) {
+	// An FP-relative store between PUSH and POP must forget the pushed
+	// value (it may alias the slot) but keep the alignment.
+	code := []isa.Instr{
+		{Op: isa.MOVI, A: 5, Imm: 77},
+		{Op: isa.PUSH, A: 5},
+		{Op: isa.ST, A: isa.FP, B: 6, Imm: -8},
+		{Op: isa.POP, A: isa.A1},
+		{Op: isa.RET},
+	}
+	g := mustBuild(t, code, fn("smash", len(code)))
+	cp := NewConstProp(g, nil)
+	wantUnknown(t, cp, 4, isa.A1)
+}
+
+func TestConstPropUnbalancedStackMeet(t *testing.T) {
+	// One arm pushes, the other does not: stack heights differ at the
+	// join, so a later POP must not claim a constant.
+	code := []isa.Instr{
+		{Op: isa.MOVI, A: 5, Imm: 42},
+		{Op: isa.BEQ, A: 1, B: 2, Imm: 4},
+		{Op: isa.PUSH, A: 5},
+		{Op: isa.JMP, Imm: 4},
+		{Op: isa.POP, A: 6},
+		{Op: isa.RET},
+	}
+	g := mustBuild(t, code, fn("unbal", len(code)))
+	cp := NewConstProp(g, nil)
+	wantUnknown(t, cp, 5, 6)
+	// Registers still meet normally.
+	wantConst(t, cp, 5, 5, 42)
+}

@@ -1,0 +1,103 @@
+package cfg
+
+// Generic forward dataflow solving. A ForwardProblem supplies the
+// lattice (Meet/Equal), the boundary state (Entry/Unknown), and the
+// per-block transfer function; Forward runs the standard worklist
+// fixpoint in reverse postorder. Liveness (backward, bitset-specific)
+// predates this framework and keeps its bespoke loop; new forward
+// analyses — constant propagation today — plug in here.
+
+// ForwardProblem describes one forward dataflow problem with abstract
+// state S.
+type ForwardProblem[S any] interface {
+	// Entry is the state on entry to the function's entry block.
+	Entry() S
+	// Unknown is the state assumed for a block none of whose
+	// predecessors has been processed yet (and for blocks unreachable
+	// from the entry). It must be the identity of Meet.
+	Unknown() S
+	// Meet combines two predecessor out-states. It must be monotone
+	// and may not mutate its arguments.
+	Meet(a, b S) S
+	// Transfer flows state in through block b. It may not mutate in.
+	Transfer(b *Block, in S) S
+	// Equal reports state equality; the fixpoint stops when every
+	// block's out-state is Equal to the previous iteration's.
+	Equal(a, b S) bool
+}
+
+// Forward solves p over g, returning per-block in and out states.
+func Forward[S any](g *Graph, p ForwardProblem[S]) (in, out []S) {
+	n := len(g.Blocks)
+	in = make([]S, n)
+	out = make([]S, n)
+	visited := make([]bool, n)
+	for i := range in {
+		in[i] = p.Unknown()
+		out[i] = p.Unknown()
+	}
+
+	rpo := g.ReversePostorder()
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+
+	inList := make([]bool, n)
+	var work []int
+	push := func(b int) {
+		if !inList[b] {
+			inList[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range rpo {
+		push(b)
+	}
+
+	for len(work) > 0 {
+		// Pop the block earliest in RPO for near-linear convergence on
+		// reducible graphs.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i]] < pos[work[best]] {
+				best = i
+			}
+		}
+		b := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inList[b] = false
+
+		st := p.Unknown()
+		merged := false
+		if b == g.Entry {
+			st = p.Entry()
+			merged = true
+		}
+		for _, pr := range g.Blocks[b].Preds {
+			if !visited[pr] {
+				continue
+			}
+			if !merged {
+				st = out[pr]
+				merged = true
+			} else {
+				st = p.Meet(st, out[pr])
+			}
+		}
+		in[b] = st
+		newOut := p.Transfer(g.Blocks[b], st)
+		if !visited[b] || !p.Equal(newOut, out[b]) {
+			visited[b] = true
+			out[b] = newOut
+			for _, s := range g.Blocks[b].Succs {
+				push(s)
+			}
+		}
+	}
+	return in, out
+}

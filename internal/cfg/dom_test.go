@@ -1,0 +1,171 @@
+package cfg
+
+import (
+	"testing"
+
+	"traceback/internal/isa"
+	"traceback/internal/module"
+)
+
+func mustBuild(t *testing.T, code []isa.Instr, f module.Func) *Graph {
+	t.Helper()
+	g, err := Build(code, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func noCut(int) bool { return false }
+
+func TestDominatorsSingleBlock(t *testing.T) {
+	code := []isa.Instr{{Op: isa.RET}}
+	g := mustBuild(t, code, fn("one", len(code)))
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	dt := g.Dominators()
+	if dt.Idom[0] != 0 {
+		t.Errorf("Idom[entry] = %d, want 0", dt.Idom[0])
+	}
+	if !dt.Dominates(0, 0) {
+		t.Error("entry should dominate itself")
+	}
+	if !dt.Reachable(0) {
+		t.Error("entry should be reachable")
+	}
+	if sccs := g.NontrivialSCCs(noCut); len(sccs) != 0 {
+		t.Errorf("single acyclic block: SCCs = %v, want none", sccs)
+	}
+	if rpo := g.ReversePostorder(); len(rpo) != 1 || rpo[0] != 0 {
+		t.Errorf("rpo = %v, want [0]", rpo)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := mustBuild(t, diamond(), fn("d", 5))
+	dt := g.Dominators()
+	// Blocks: 0 = entry branch, 1 & 2 = arms, 3 = join/exit.
+	for b := 1; b < 4; b++ {
+		if dt.Idom[b] != 0 {
+			t.Errorf("Idom[%d] = %d, want 0 (entry)", b, dt.Idom[b])
+		}
+		if !dt.Dominates(0, b) {
+			t.Errorf("entry should dominate block %d", b)
+		}
+	}
+	join, ok := g.BlockAt(4)
+	if !ok {
+		t.Fatal("no block at instruction 4")
+	}
+	for _, arm := range join.Preds {
+		if dt.Dominates(arm, join.ID) {
+			t.Errorf("arm %d must not dominate the join", arm)
+		}
+	}
+}
+
+func TestDominatorsSelfLoop(t *testing.T) {
+	// 0: beq r1,r2,@0   (block 0 loops on itself or falls through)
+	// 1: ret
+	code := []isa.Instr{
+		{Op: isa.BEQ, A: 1, B: 2, Imm: 0},
+		{Op: isa.RET},
+	}
+	g := mustBuild(t, code, fn("self", len(code)))
+	dt := g.Dominators()
+	if dt.Idom[0] != 0 || !dt.Dominates(0, 0) {
+		t.Errorf("self-loop entry: Idom = %d", dt.Idom[0])
+	}
+	exit, _ := g.BlockAt(1)
+	if !dt.Dominates(0, exit.ID) || dt.Dominates(exit.ID, 0) {
+		t.Error("dominance wrong across the self-loop exit edge")
+	}
+
+	sccs := g.NontrivialSCCs(noCut)
+	if len(sccs) != 1 || len(sccs[0]) != 1 || sccs[0][0] != 0 {
+		t.Errorf("self-loop SCCs = %v, want [[0]]", sccs)
+	}
+	// Cutting the looping block (a probe-cut header) dissolves it.
+	if sccs := g.NontrivialSCCs(func(id int) bool { return id == 0 }); len(sccs) != 0 {
+		t.Errorf("cut self-loop: SCCs = %v, want none", sccs)
+	}
+}
+
+func TestDominatorsUnreachableBlock(t *testing.T) {
+	// 0: jmp @2
+	// 1: ret        (unreachable leader)
+	// 2: ret
+	code := []isa.Instr{
+		{Op: isa.JMP, Imm: 2},
+		{Op: isa.RET},
+		{Op: isa.RET},
+	}
+	g := mustBuild(t, code, fn("dead", len(code)))
+	dt := g.Dominators()
+	dead, ok := g.BlockAt(1)
+	if !ok {
+		t.Fatal("no block at instruction 1")
+	}
+	if dt.Reachable(dead.ID) {
+		t.Error("block 1 should be unreachable")
+	}
+	if dt.Dominates(0, dead.ID) || dt.Dominates(dead.ID, dead.ID) {
+		t.Error("unreachable blocks dominate nothing and are dominated by nothing")
+	}
+	live, _ := g.BlockAt(2)
+	if !dt.Dominates(0, live.ID) {
+		t.Error("entry should dominate the reachable exit")
+	}
+	for _, b := range g.ReversePostorder() {
+		if b == dead.ID {
+			t.Error("unreachable block appeared in reverse postorder")
+		}
+	}
+}
+
+func TestNontrivialSCCsMultiBlockAndCut(t *testing.T) {
+	// 0: beq r1,r2,@3   b0 -> b1, b3
+	// 1: movi r3,1      b1 (1,2) -> b0
+	// 2: jmp @0
+	// 3: ret            b3
+	code := []isa.Instr{
+		{Op: isa.BEQ, A: 1, B: 2, Imm: 3},
+		{Op: isa.MOVI, A: 3, Imm: 1},
+		{Op: isa.JMP, Imm: 0},
+		{Op: isa.RET},
+	}
+	g := mustBuild(t, code, fn("loop2", len(code)))
+	sccs := g.NontrivialSCCs(noCut)
+	if len(sccs) != 1 || len(sccs[0]) != 2 {
+		t.Fatalf("SCCs = %v, want one two-block component", sccs)
+	}
+	// Cutting either member (as DAG tiling does when it places a
+	// header probe) must break the cycle.
+	for _, member := range sccs[0] {
+		m := member
+		if got := g.NontrivialSCCs(func(id int) bool { return id == m }); len(got) != 0 {
+			t.Errorf("cut block %d: SCCs = %v, want none", m, got)
+		}
+	}
+
+	dt := g.Dominators()
+	b1, _ := g.BlockAt(1)
+	if dt.Idom[b1.ID] != 0 {
+		t.Errorf("loop body idom = %d, want entry", dt.Idom[b1.ID])
+	}
+	if dt.Dominates(b1.ID, 0) {
+		t.Error("loop body must not dominate the loop header")
+	}
+}
+
+func TestDominatorsEmptyGraphSafe(t *testing.T) {
+	g := &Graph{}
+	dt := g.Dominators()
+	if len(dt.Idom) != 0 {
+		t.Errorf("empty graph Idom = %v", dt.Idom)
+	}
+	if rpo := g.ReversePostorder(); rpo != nil {
+		t.Errorf("empty graph rpo = %v", rpo)
+	}
+}

@@ -147,6 +147,18 @@ const (
 	SysPrintInt     = 28 // (r1 = value): write decimal + newline to the console
 )
 
+// SysEndpointArg returns the argument register carrying the RPC
+// endpoint id for syscall num. Static analyses (the fleet verifier's
+// cross-module RPC passes) use this instead of hard-coding which
+// syscalls address endpoints.
+func SysEndpointArg(num int) (reg uint8, ok bool) {
+	switch num {
+	case SysRPCCall, SysRPCRecv, SysRPCReply:
+		return A1, true
+	}
+	return 0, false
+}
+
 // SysName returns a printable syscall name.
 func SysName(num int) string {
 	names := map[int]string{

@@ -15,6 +15,7 @@ import (
 	"traceback/internal/tbrt"
 	"traceback/internal/telemetry"
 	"traceback/internal/verify"
+	"traceback/internal/verify/fleet"
 	"traceback/internal/vm"
 )
 
@@ -52,6 +53,7 @@ type Service struct {
 	reg         *telemetry.Registry
 	rec         *telemetry.Recorder
 	verify      *verify.Metrics
+	fleetM      *fleet.Metrics
 	heartbeats  *telemetry.Counter
 	hangs       *telemetry.Counter
 	externals   *telemetry.Counter
@@ -88,6 +90,7 @@ func (s *Service) bindTelemetry(reg *telemetry.Registry) {
 	s.forwarded = reg.Counter("svc_forwarded_total", "service-triggered snaps handed to the collection plane")
 	s.forwardErrs = reg.Counter("svc_forward_errors_total", "collection-plane forwards that failed")
 	s.verify = verify.NewMetrics(reg)
+	s.fleetM = fleet.NewMetrics(reg)
 }
 
 // SetArchive routes every snap the service triggers into the
@@ -155,8 +158,54 @@ func (s *Service) ObserveVerification(res *verify.Result) {
 func (s *Service) Metrics() *telemetry.Registry { return s.reg }
 
 // Register adds a runtime to the service (the runtime side of the
-// local protocol).
-func (s *Service) Register(rt *tbrt.Runtime) { s.runtimes = append(s.runtimes, rt) }
+// local protocol). Once the machine hosts two or more distinct
+// instrumented modules, every registration re-runs the cross-module
+// verification, so a module that breaks the fleet's RPC/SYNC
+// invariants is flagged the moment it joins — before any fault needs
+// diagnosing.
+func (s *Service) Register(rt *tbrt.Runtime) {
+	s.runtimes = append(s.runtimes, rt)
+	if len(s.fleetModules()) >= 2 {
+		s.VerifyFleet()
+	}
+}
+
+// fleetModules gathers the distinct instrumented modules currently
+// loaded across every registered runtime, deduplicated by checksum
+// (two processes running the same module contribute one fleet member).
+func (s *Service) fleetModules() []fleet.Input {
+	seen := map[string]bool{}
+	var out []fleet.Input
+	for _, rt := range s.runtimes {
+		for _, lm := range rt.Proc().Modules {
+			if lm.Unloaded || lm.Mod == nil || !lm.Mod.Instrumented {
+				continue
+			}
+			sum := lm.Mod.ChecksumHex()
+			if seen[sum] {
+				continue
+			}
+			seen[sum] = true
+			out = append(out, fleet.Input{Module: lm.Mod})
+		}
+	}
+	return out
+}
+
+// VerifyFleet runs the cross-module pass suite over every distinct
+// instrumented module on the machine, recording the outcome in the
+// verify_fleet_ counters and the flight recorder.
+func (s *Service) VerifyFleet() *fleet.Result {
+	res := fleet.Verify(s.fleetModules(), fleet.Options{})
+	s.fleetM.Observe(res)
+	kind := "fleet-verified"
+	if !res.Ok() {
+		kind = "fleet-verify-failed"
+	}
+	s.rec.Record(s.machine.Clock(), kind,
+		fmt.Sprintf("%d module(s), %d error(s)", len(res.Modules), res.NumError))
+	return res
+}
 
 // Peer connects this service to another machine's service for
 // cross-machine group snaps.

@@ -408,3 +408,119 @@ func TestServiceForwardsTriggeredSnaps(t *testing.T) {
 }
 
 var errForward = errors.New("spool unwritable")
+
+// buildNamed compiles and instruments one named MiniC module.
+func buildNamed(t *testing.T, name, src string) *core.Result {
+	t.Helper()
+	mod, err := minic.Compile(name, name+".mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Instrument(mod, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFleetVerifyOnRegister: once two distinct instrumented modules
+// are loaded on the machine, registration triggers the cross-module
+// verification and the verify_fleet_ counters record the outcome.
+func TestFleetVerifyOnRegister(t *testing.T) {
+	callerSrc := `int main() {
+		int req = alloc(64);
+		int resp = alloc(64);
+		rpc_call(78, req, 8, resp);
+		exit(0);
+	}`
+	serverSrc := `int main() {
+		int buf = alloc(64);
+		rpc_recv(77, buf, 64);
+		rpc_reply(77, 0, buf, 8);
+		exit(0);
+	}`
+	client := buildNamed(t, "client", callerSrc)
+	server := buildNamed(t, "server", serverSrc)
+
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	svc := New(mach, 0)
+
+	p1, rt1, err := tbrt.NewProcess(mach, "client-proc", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Load(client.Module); err != nil {
+		t.Fatal(err)
+	}
+	svc.Register(rt1)
+	runs := svc.fleetM.Runs.Load()
+	if runs != 0 {
+		t.Fatalf("fleet check ran with a single module loaded (%d runs)", runs)
+	}
+
+	p2, rt2, err := tbrt.NewProcess(mach, "server-proc", tbrt.Config{Policy: tbrt.DefaultPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Load(server.Module); err != nil {
+		t.Fatal(err)
+	}
+	svc.Register(rt2)
+	if got := svc.fleetM.Runs.Load(); got != 1 {
+		t.Fatalf("fleet runs = %d, want 1", got)
+	}
+	// Endpoint 78 has no server in the fleet: the run must fail.
+	if got := svc.fleetM.Failed.Load(); got != 1 {
+		t.Fatalf("fleet failed runs = %d, want 1", got)
+	}
+	if got := svc.fleetM.DiagErrors.Load(); got == 0 {
+		t.Fatal("no error diagnostics counted for the unserved endpoint")
+	}
+
+	// An explicit re-check reports the same fleet, still broken.
+	res := svc.VerifyFleet()
+	if res.Ok() || len(res.Modules) != 2 {
+		t.Fatalf("VerifyFleet: ok=%v modules=%v", res.Ok(), res.Modules)
+	}
+}
+
+// TestFleetVerifyCleanPair: a well-formed client/server pair passes
+// the load-time check and counts as a clean run.
+func TestFleetVerifyCleanPair(t *testing.T) {
+	callerSrc := `int main() {
+		int req = alloc(64);
+		int resp = alloc(64);
+		rpc_call(77, req, 8, resp);
+		exit(0);
+	}`
+	serverSrc := `int main() {
+		int buf = alloc(64);
+		rpc_recv(77, buf, 64);
+		rpc_reply(77, 0, buf, 8);
+		exit(0);
+	}`
+	client := buildNamed(t, "client", callerSrc)
+	server := buildNamed(t, "server", serverSrc)
+
+	w := vm.NewWorld(1)
+	mach := w.NewMachine("host", 0)
+	svc := New(mach, 0)
+	for i, res := range []*core.Result{client, server} {
+		name := []string{"client-proc", "server-proc"}[i]
+		p, rt, err := tbrt.NewProcess(mach, name, tbrt.Config{Policy: tbrt.DefaultPolicy()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Load(res.Module); err != nil {
+			t.Fatal(err)
+		}
+		svc.Register(rt)
+	}
+	if got := svc.fleetM.Clean.Load(); got != 1 {
+		t.Fatalf("fleet clean runs = %d, want 1", got)
+	}
+	if got := svc.fleetM.Failed.Load(); got != 0 {
+		t.Fatalf("fleet failed runs = %d, want 0", got)
+	}
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"traceback/internal/isa"
+	"traceback/internal/trace"
+)
+
+// decodeAmbiguity proves, per module, that every word its probes can
+// place in a trace buffer backward-mines as exactly one one-word DAG
+// record. The miner walks a wrapped-buffer suffix newest-to-oldest
+// and classifies each word by its top bits, so one bad immediate
+// poisons decoding of everything older than it:
+//
+//   - 0x00000000 reads as Invalid: mining stops and silently drops
+//     every older record (the dynamic trailer-kind-0x00 bug PR 1
+//     rejected in the miner — here proven never emitted).
+//   - top byte 0x7F with bit 31 clear reads as an extended-record
+//     trailer: the suffix has two valid minings, one treating the
+//     probe word as a DAG record and one swallowing the preceding
+//     words as a phantom extended record (the 0x7F class).
+//   - any other word with bit 31 clear is neither a DAG record nor a
+//     trailer: mining stops (torn-record rule).
+//   - a DAG word whose lightweight bits can overflow the path field
+//     changes its own DAG ID mid-flight, and one whose ID lands in
+//     the reserved top of the space collides with BadDAGID/Sentinel.
+//
+// The check is the closed set {every STI4 immediate} OR-ed with the
+// union of the module's ORM4 masks — every word the instrumented code
+// can materialize, including across buffer wrap points.
+func (ctx *fleetCtx) decodeAmbiguity() {
+	for mi, m := range ctx.mods {
+		if !m.analyzable {
+			continue
+		}
+		ctx.moduleAmbiguity(mi, m)
+	}
+}
+
+func (ctx *fleetCtx) moduleAmbiguity(mi int, m *modInfo) {
+	// Union of every lightweight mask the module can OR into a record.
+	// Any subset of these bits can be present when the buffer wraps,
+	// so every heavy word is checked with and without them.
+	var masks trace.Word
+	for idx, in := range m.m.Code {
+		if m.hasHelper && uint32(idx) >= m.helper.Entry && uint32(idx) < m.helper.End {
+			continue // the helper's own stores are runtime-managed control words
+		}
+		if in.Op == isa.ORM4 {
+			masks |= trace.Word(in.Imm)
+		}
+	}
+
+	for idx, in := range m.m.Code {
+		if in.Op != isa.STI4 {
+			continue
+		}
+		if m.hasHelper && uint32(idx) >= m.helper.Entry && uint32(idx) < m.helper.End {
+			continue
+		}
+		ctx.checkWord(mi, uint32(idx), trace.Word(in.Imm), masks)
+	}
+}
+
+func (ctx *fleetCtx) checkWord(mi int, idx uint32, w, masks trace.Word) {
+	switch {
+	case w == trace.Invalid:
+		ctx.errorf(PassAmbiguity, mi, "", int(idx),
+			"probe stores 0x00000000 (the Invalid word): backward mining stops at it and silently drops every older record in the buffer")
+		return
+	case w == trace.Sentinel:
+		ctx.errorf(PassAmbiguity, mi, "", int(idx),
+			"probe stores 0xFFFFFFFF (the Sentinel): mining mistakes it for the buffer frontier")
+		return
+	case !trace.IsDAG(w) && w>>24 == 0x7F:
+		ctx.errorf(PassAmbiguity, mi, "", int(idx),
+			"probe word %#08x parses as an extended-record trailer (tag 0x7F, kind %d, len %d): a wrapped-buffer suffix ending at it has two valid backward minings",
+			uint32(w), w&0xFF, w>>16&0xFF)
+		return
+	case !trace.IsDAG(w):
+		ctx.errorf(PassAmbiguity, mi, "", int(idx),
+			"probe word %#08x is not a DAG record (bit 31 clear): mining cannot continue past it and every older record is dropped", uint32(w))
+		return
+	}
+
+	gid := trace.DAGID(w)
+	if gid >= trace.BadDAGID {
+		ctx.errorf(PassAmbiguity, mi, "", int(idx),
+			"probe word %#08x carries reserved DAG ID %d (>= BadDAGID %d): it is indistinguishable from the runtime's orphan/sentinel encodings",
+			uint32(w), gid, trace.BadDAGID)
+		return
+	}
+	wm := w | masks
+	if wm == trace.Sentinel {
+		ctx.errorf(PassAmbiguity, mi, "", int(idx),
+			"probe word %#08x equals the Sentinel once all lightweight masks are OR-ed in", uint32(w))
+		return
+	}
+	if trace.DAGID(wm) != gid {
+		ctx.errorf(PassAmbiguity, mi, "", int(idx),
+			"lightweight masks (union %#x) spill past the %d path bits and rewrite DAG ID %d as %d: records change identity as bits accrue",
+			uint32(masks), trace.NumPathBits, gid, trace.DAGID(wm))
+	}
+}

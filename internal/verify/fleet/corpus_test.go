@@ -1,0 +1,49 @@
+package fleet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"traceback/internal/verify/fleet"
+	"traceback/internal/verify/seed"
+)
+
+// TestFleetCorpusRecall is the cross-module recall guarantee, asserted
+// in both directions: the clean fleet verifies with zero errors, and
+// every seeded cross-module defect is flagged by exactly the pass
+// designed to catch it — no other fleet pass fires error-level, so a
+// regression in precision shows up as loudly as one in recall.
+func TestFleetCorpusRecall(t *testing.T) {
+	cases, err := seed.FleetCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 4 {
+		t.Fatalf("fleet corpus has %d cases, want at least 4", len(cases))
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			var inputs []fleet.Input
+			for _, fm := range c.Modules {
+				inputs = append(inputs, fleet.Input{Module: fm.Module, Path: fm.Name})
+			}
+			res := fleet.Verify(inputs, fleet.Options{})
+			var b bytes.Buffer
+			res.WriteText(&b)
+			if c.Pass == "" {
+				if !res.Ok() {
+					t.Fatalf("baseline fleet must verify clean, got %d errors:\n%s", res.NumError, b.String())
+				}
+				return
+			}
+			if !res.HasError(c.Pass) {
+				t.Fatalf("seeded defect (%s) missed by pass %q; diagnostics:\n%s", c.Desc, c.Pass, b.String())
+			}
+			for _, other := range fleet.AllPasses() {
+				if other != c.Pass && res.HasError(other) {
+					t.Errorf("pass %q fired error-level on a %q-class defect:\n%s", other, c.Pass, b.String())
+				}
+			}
+		})
+	}
+}

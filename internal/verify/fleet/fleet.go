@@ -1,0 +1,368 @@
+// Package fleet statically verifies cross-module invariants over a
+// *set* of modules — the whole-fleet complement to internal/verify's
+// per-module pass suite. A fleet can pass every per-module check and
+// still be undiagnosable: module A calls an RPC endpoint no module
+// serves (an RPCServerFault mystery at runtime), a serve loop takes a
+// path that skips the reply half of the four-SYNC record sequence the
+// causal stitcher needs (paper §5.1), or a module's probe words make a
+// wrapped-buffer suffix minable two ways. The passes here prove those
+// absent at instrument/load time, over the distributed call graph the
+// paper reconstructs dynamically.
+//
+// Passes:
+//
+//   - rpc-endpoints: constant-propagate SysRPCCall/SysRPCRecv endpoint
+//     ids (through MiniC's stack-marshaled syscall arguments) and
+//     require every resolvable call endpoint to be served by some
+//     module's recv in the set. Unresolvable endpoints warn; a
+//     resolvable endpoint nobody serves is an error, because the VM
+//     raises RPCServerFault for it.
+//   - sync-protocol: path-sensitive per-recv check that every path
+//     from a successful rpc-recv reaches an rpc-reply (directly or via
+//     a call to a function proven to always reply, resolved
+//     transitively and across modules) before the function returns,
+//     the process exits, or another recv overwrites the pending
+//     request. Also warns, via the dominator tree, about replies no
+//     recv dominates.
+//   - decode-ambiguity: every word a module's probes can emit (heavy
+//     STI4 immediates, optionally OR-ed with any union of its ORM4
+//     masks) must backward-mine as exactly one one-word DAG record —
+//     the static proof of the trailer-kind 0x00/0x7F ambiguity class
+//     that the miner rejects dynamically.
+//
+// The engine under the passes lives in internal/cfg: dominator trees,
+// a generic forward dataflow solver, and constant propagation with an
+// abstract operand stack. Soundness limits (what "unresolvable" hides)
+// are discussed in DESIGN.md §13.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"traceback/internal/cfg"
+	"traceback/internal/core"
+	"traceback/internal/isa"
+	"traceback/internal/module"
+	"traceback/internal/verify"
+)
+
+// Pass names, usable in Options.Passes.
+const (
+	PassAmbiguity = "decode-ambiguity"
+	PassRPC       = "rpc-endpoints"
+	PassSync      = "sync-protocol"
+)
+
+// AllPasses lists every fleet pass name in sorted order.
+func AllPasses() []string {
+	names := []string{PassAmbiguity, PassRPC, PassSync}
+	sort.Strings(names)
+	return names
+}
+
+// Input is one module of the fleet under verification. Path, when
+// set, is the display name used for diagnostic attribution (e.g. the
+// file the module was read from); it defaults to the module name.
+type Input struct {
+	Module *module.Module
+	Path   string
+}
+
+func (in Input) display() string {
+	if in.Path != "" {
+		return in.Path
+	}
+	if in.Module != nil {
+		return in.Module.Name
+	}
+	return "<nil>"
+}
+
+// Options tune a fleet Verify run.
+type Options struct {
+	// Passes selects which fleet passes run; nil means all.
+	Passes []string
+}
+
+func (o Options) enabled(pass string) bool {
+	if len(o.Passes) == 0 {
+		return true
+	}
+	for _, p := range o.Passes {
+		if p == pass {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of one fleet Verify run. Diagnostics carry
+// their module in Diagnostic.Module.
+type Result struct {
+	Modules  []string            `json:"modules"`
+	Diags    []verify.Diagnostic `json:"diags"`
+	NumError int                 `json:"errors"`
+	NumWarn  int                 `json:"warnings"`
+	NumInfo  int                 `json:"infos"`
+}
+
+func (r *Result) add(d verify.Diagnostic) {
+	r.Diags = append(r.Diags, d)
+	switch d.Severity {
+	case verify.SevError:
+		r.NumError++
+	case verify.SevWarn:
+		r.NumWarn++
+	default:
+		r.NumInfo++
+	}
+}
+
+// Ok reports whether the run produced no error-level diagnostics.
+func (r *Result) Ok() bool { return r.NumError == 0 }
+
+// HasError reports whether the named pass produced an error.
+func (r *Result) HasError(pass string) bool {
+	for _, d := range r.Diags {
+		if d.Pass == pass && d.Severity == verify.SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteText prints one diagnostic per line.
+func (r *Result) WriteText(w io.Writer) error {
+	for _, d := range r.Diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints the whole result as one JSON object.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// rpcSite is one RPC syscall site: a SYS instruction whose endpoint
+// argument has (maybe) been resolved by constant propagation.
+type rpcSite struct {
+	mi    int // module index into ctx.mods
+	fi    int // function index into mods[mi].funcs
+	instr uint32
+	block int
+	sys   int
+	ep    int64
+	known bool
+}
+
+// fnInfo is the per-function analysis state.
+type fnInfo struct {
+	fn  module.Func
+	g   *cfg.Graph
+	cp  *cfg.ConstProp
+	dom *cfg.DomTree
+}
+
+// modInfo is the per-module analysis state.
+type modInfo struct {
+	name       string
+	m          *module.Module
+	funcs      []*fnInfo
+	helper     module.Func
+	hasHelper  bool
+	calls      []rpcSite
+	recvs      []rpcSite
+	replies    []rpcSite
+	analyzable bool
+}
+
+type fnKey struct{ mi, fi int }
+
+type fleetCtx struct {
+	mods     []*modInfo
+	opts     Options
+	res      *Result
+	repliers map[fnKey]bool
+}
+
+func (ctx *fleetCtx) report(d verify.Diagnostic) { ctx.res.add(d) }
+
+func (ctx *fleetCtx) diagf(pass string, sev verify.Severity, mi int, fn string, instr int, format string, a ...any) {
+	d := verify.Diagnostic{Pass: pass, Severity: sev, DAG: -1, Instr: instr,
+		Msg: fmt.Sprintf(format, a...)}
+	if mi >= 0 {
+		m := ctx.mods[mi]
+		d.Module = m.name
+		if instr >= 0 && m.m != nil {
+			if file, line, ok := m.m.LineFor(uint32(instr)); ok {
+				d.File, d.Line = file, line
+			}
+			if fn == "" {
+				if f, ok := m.m.FindFunc(uint32(instr)); ok {
+					fn = f.Name
+				}
+			}
+		}
+	}
+	d.Func = fn
+	ctx.report(d)
+}
+
+func (ctx *fleetCtx) errorf(pass string, mi int, fn string, instr int, format string, a ...any) {
+	ctx.diagf(pass, verify.SevError, mi, fn, instr, format, a...)
+}
+
+func (ctx *fleetCtx) warnf(pass string, mi int, fn string, instr int, format string, a ...any) {
+	ctx.diagf(pass, verify.SevWarn, mi, fn, instr, format, a...)
+}
+
+func (ctx *fleetCtx) infof(pass string, format string, a ...any) {
+	ctx.diagf(pass, verify.SevInfo, -1, "", -1, format, a...)
+}
+
+// Verify runs the cross-module pass suite over the fleet. It never
+// panics on structurally valid inputs; malformed modules produce
+// error diagnostics (attributed to the structure pass) and are
+// excluded from the cross-module analysis.
+func Verify(inputs []Input, opts Options) *Result {
+	res := &Result{}
+	ctx := &fleetCtx{opts: opts, res: res}
+	for _, in := range inputs {
+		res.Modules = append(res.Modules, in.display())
+		ctx.mods = append(ctx.mods, ctx.prepare(in, len(ctx.mods)))
+	}
+	if opts.enabled(PassAmbiguity) {
+		ctx.decodeAmbiguity()
+	}
+	if opts.enabled(PassRPC) {
+		ctx.rpcEndpoints()
+	}
+	if opts.enabled(PassSync) {
+		ctx.syncProtocol()
+	}
+	return res
+}
+
+// prepare builds one module's analysis state: CFGs, constant
+// propagation (probe-helper aware), dominator trees, and the RPC
+// syscall site lists. Sites in code unreachable from their function's
+// entry are dropped — an unreachable recv serves nothing.
+func (ctx *fleetCtx) prepare(in Input, mi int) *modInfo {
+	info := &modInfo{name: in.display(), m: in.Module}
+	if in.Module == nil {
+		ctx.errorf(verify.PassStructure, -1, "", -1, "fleet input %s: no module", info.name)
+		return info
+	}
+	m := in.Module
+	if err := m.Validate(); err != nil {
+		d := verify.Diagnostic{Pass: verify.PassStructure, Severity: verify.SevError,
+			Module: info.name, DAG: -1, Instr: -1,
+			Msg: fmt.Sprintf("module invalid, excluded from fleet analysis: %v", err)}
+		ctx.report(d)
+		return info
+	}
+	info.analyzable = true
+	info.helper, info.hasHelper = m.FuncByName(core.HelperName)
+	helperEntries := map[uint32]bool{}
+	if info.hasHelper {
+		helperEntries[info.helper.Entry] = true
+	}
+
+	for _, fn := range m.Funcs {
+		if info.hasHelper && fn.Name == core.HelperName && fn.Entry == info.helper.Entry {
+			continue
+		}
+		g, err := cfg.Build(m.Code, fn)
+		if err != nil {
+			d := verify.Diagnostic{Pass: verify.PassStructure, Severity: verify.SevWarn,
+				Module: info.name, Func: fn.Name, DAG: -1, Instr: -1,
+				Msg: fmt.Sprintf("CFG construction failed, function excluded from fleet analysis: %v", err)}
+			ctx.report(d)
+			continue
+		}
+		fi := &fnInfo{fn: fn, g: g,
+			cp:  cfg.NewConstProp(g, helperEntries),
+			dom: g.Dominators()}
+		fidx := len(info.funcs)
+		info.funcs = append(info.funcs, fi)
+
+		for idx := fn.Entry; idx < fn.End; idx++ {
+			inr := m.Code[idx]
+			if inr.Op != isa.SYS {
+				continue
+			}
+			num := int(inr.Imm)
+			if num != isa.SysRPCCall && num != isa.SysRPCRecv && num != isa.SysRPCReply {
+				continue
+			}
+			b, ok := g.BlockContaining(idx)
+			if !ok || !fi.dom.Reachable(b.ID) {
+				continue
+			}
+			s := rpcSite{mi: mi, fi: fidx, instr: idx, block: b.ID, sys: num}
+			if reg, ok := isa.SysEndpointArg(num); ok {
+				s.ep, s.known = fi.cp.RegBefore(idx, reg)
+			}
+			switch num {
+			case isa.SysRPCCall:
+				info.calls = append(info.calls, s)
+			case isa.SysRPCRecv:
+				info.recvs = append(info.recvs, s)
+			case isa.SysRPCReply:
+				info.replies = append(info.replies, s)
+			}
+		}
+	}
+	return info
+}
+
+// funcAt returns the fnInfo of module mi whose entry is exactly
+// entry, or nil.
+func (ctx *fleetCtx) funcAt(mi int, entry uint32) (int, *fnInfo) {
+	for fi, f := range ctx.mods[mi].funcs {
+		if f.fn.Entry == entry {
+			return fi, f
+		}
+	}
+	return -1, nil
+}
+
+// resolveCall resolves the call terminating block b of function f in
+// module mi to a fleet function, following CALX imports across
+// modules. Indirect calls and unresolvable imports return nil.
+func (ctx *fleetCtx) resolveCall(mi int, b *cfg.Block) (fnKey, *fnInfo, bool) {
+	m := ctx.mods[mi]
+	switch b.CallKind {
+	case module.CallDirect:
+		if fi, f := ctx.funcAt(mi, uint32(b.CallImm)); f != nil {
+			return fnKey{mi, fi}, f, true
+		}
+	case module.CallImport:
+		if m.m == nil || int(b.CallImm) >= len(m.m.Imports) {
+			return fnKey{}, nil, false
+		}
+		im := m.m.Imports[b.CallImm]
+		for omi, om := range ctx.mods {
+			if omi == mi || !om.analyzable {
+				continue
+			}
+			if im.Module != "" && om.m.Name != im.Module {
+				continue
+			}
+			for ofi, of := range om.funcs {
+				if of.fn.Exported && of.fn.Name == im.Name {
+					return fnKey{omi, ofi}, of, true
+				}
+			}
+		}
+	}
+	return fnKey{}, nil, false
+}

@@ -1,0 +1,36 @@
+package fleet
+
+import "traceback/internal/telemetry"
+
+// Metrics is the fleet-verification counter set, registered under the
+// verify_fleet_ prefix so the service and CLIs report the same names.
+type Metrics struct {
+	Runs       *telemetry.Counter
+	Clean      *telemetry.Counter
+	Failed     *telemetry.Counter
+	DiagErrors *telemetry.Counter
+	DiagWarns  *telemetry.Counter
+}
+
+// NewMetrics registers (or re-binds) the fleet counters on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Runs:       reg.Counter("verify_fleet_runs_total", "cross-module verification runs over module sets"),
+		Clean:      reg.Counter("verify_fleet_clean_total", "fleet runs with zero error-level diagnostics"),
+		Failed:     reg.Counter("verify_fleet_failed_total", "fleet runs with at least one error-level diagnostic"),
+		DiagErrors: reg.Counter("verify_fleet_diags_error_total", "error-level fleet diagnostics emitted"),
+		DiagWarns:  reg.Counter("verify_fleet_diags_warn_total", "warning-level fleet diagnostics emitted"),
+	}
+}
+
+// Observe records one fleet Verify result.
+func (mt *Metrics) Observe(res *Result) {
+	mt.Runs.Inc()
+	if res.Ok() {
+		mt.Clean.Inc()
+	} else {
+		mt.Failed.Inc()
+	}
+	mt.DiagErrors.Add(uint64(res.NumError))
+	mt.DiagWarns.Add(uint64(res.NumWarn))
+}

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"traceback/internal/isa"
+)
+
+// rpcEndpoints builds the static distributed call graph and checks it
+// for unserved endpoints. The VM's dispatch (RPCServerFault when no
+// process has registered the endpoint) makes a constant call endpoint
+// with no recv in the set a guaranteed runtime fault, so that is an
+// error; endpoints the analysis cannot resolve only warn. A recv
+// whose own endpoint is unresolvable is treated as a wildcard server:
+// it downgrades every unserved-endpoint finding to a warning, since
+// it may serve any id at runtime.
+func (ctx *fleetCtx) rpcEndpoints() {
+	served := map[int64][]string{}
+	wildcard := false
+	totalCalls, totalRecvs := 0, 0
+	for _, m := range ctx.mods {
+		totalRecvs += len(m.recvs)
+		for _, s := range m.recvs {
+			if s.known {
+				if !contains(served[s.ep], m.name) {
+					served[s.ep] = append(served[s.ep], m.name)
+				}
+				continue
+			}
+			wildcard = true
+			ctx.warnf(PassRPC, s.mi, "", int(s.instr),
+				"cannot resolve this rpc-recv's endpoint id statically; treating it as serving any endpoint (unserved-endpoint findings are downgraded to warnings)")
+		}
+	}
+
+	for _, m := range ctx.mods {
+		totalCalls += len(m.calls)
+		for _, s := range m.calls {
+			if !s.known {
+				ctx.warnf(PassRPC, s.mi, "", int(s.instr),
+					"cannot resolve this rpc-call's endpoint id statically; the fleet-level service check is skipped for this site")
+				continue
+			}
+			if len(served[s.ep]) > 0 {
+				continue
+			}
+			if wildcard {
+				ctx.warnf(PassRPC, s.mi, "", int(s.instr),
+					"rpc-call endpoint %d matches no statically-resolved rpc-recv in the fleet; only an unresolved recv could serve it", s.ep)
+				continue
+			}
+			ctx.errorf(PassRPC, s.mi, "", int(s.instr),
+				"rpc-call endpoint %d is served by no module in the fleet: the call raises %s at runtime (sys %s)",
+				s.ep, "RPCServerFault", isa.SysName(isa.SysRPCCall))
+		}
+	}
+
+	if totalCalls+totalRecvs > 0 {
+		eps := make([]int64, 0, len(served))
+		for e := range served {
+			eps = append(eps, e)
+		}
+		sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+		var parts []string
+		for _, e := range eps {
+			parts = append(parts, serveDesc(e, served[e]))
+		}
+		desc := "none"
+		if len(parts) > 0 {
+			desc = strings.Join(parts, ", ")
+		}
+		ctx.infof(PassRPC, "static RPC graph: %d call site(s), %d recv site(s); served endpoints: %s",
+			totalCalls, totalRecvs, desc)
+	}
+}
+
+func serveDesc(ep int64, by []string) string {
+	return "endpoint " + strconv.FormatInt(ep, 10) + " by " + strings.Join(by, "+")
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"strconv"
+
+	"traceback/internal/cfg"
+	"traceback/internal/isa"
+)
+
+// syncProtocol checks the callee half of the four-SYNC record
+// sequence (paper §5.1). The VM emits SyncCallSend/SyncReplyRecv in
+// the caller's buffer at the SysRPCCall itself, and SyncCallRecv at
+// the SysRPCRecv — those cannot be skipped. SyncReplySend, though, is
+// emitted only when the server code actually executes SysRPCReply, so
+// the statically checkable property is: every path from an rpc-recv
+// reaches an rpc-reply before the function returns, the process
+// exits, or another rpc-recv overwrites the thread's pending request.
+// A path that escapes leaves the caller's exchange with three SYNCs —
+// reconstruction cannot stitch the cross-runtime reply edge and the
+// caller side of the snap dangles.
+//
+// Calls to functions proven to always reply (reply on every path
+// before any recv of their own — their reply answers the caller's
+// pending request) count as replies; the proof is a fixpoint over the
+// whole fleet, following CALX imports across modules.
+//
+// The dominator tree adds a precision warning in the other direction:
+// in a function that receives, a reply no recv dominates can execute
+// with no pending request on some path.
+func (ctx *fleetCtx) syncProtocol() {
+	ctx.solveRepliers()
+
+	for _, m := range ctx.mods {
+		for _, s := range m.recvs {
+			f := m.funcs[s.fi]
+			v, _ := ctx.walkFrom(s.mi, f, s.block, s.instr+1)
+			if v != nil {
+				ctx.errorf(PassSync, s.mi, "", int(s.instr),
+					"a path from this rpc-recv %s without an intervening rpc-reply: the SyncReplySend record is never emitted and the caller's RPC exchange cannot be stitched", v.desc)
+			}
+		}
+		for _, s := range m.replies {
+			f := m.funcs[s.fi]
+			if !ctx.fnHasRecv(m, s.fi) {
+				// Reply-only helpers are replied *through* (see the
+				// repliers fixpoint); the binding recv lives in a caller.
+				continue
+			}
+			if !ctx.replyDominated(m, f, s) {
+				ctx.warnf(PassSync, s.mi, "", int(s.instr),
+					"rpc-reply is not dominated by any rpc-recv: on some path it executes with no pending request to answer")
+			}
+		}
+	}
+}
+
+func (ctx *fleetCtx) fnHasRecv(m *modInfo, fi int) bool {
+	for _, r := range m.recvs {
+		if r.fi == fi {
+			return true
+		}
+	}
+	return false
+}
+
+// replyDominated reports whether some recv in the same function
+// dominates the reply site s (same-block sites compare by index).
+func (ctx *fleetCtx) replyDominated(m *modInfo, f *fnInfo, s rpcSite) bool {
+	for _, r := range m.recvs {
+		if r.fi != s.fi {
+			continue
+		}
+		if r.block == s.block {
+			if r.instr < s.instr {
+				return true
+			}
+			continue
+		}
+		if f.dom.Dominates(r.block, s.block) {
+			return true
+		}
+	}
+	return false
+}
+
+// solveRepliers computes the always-replies set: functions where
+// every path from entry reaches a reply before any recv or exit, and
+// at least one reply is reachable. Iterates to fixpoint so chains of
+// helpers (and cross-module CALX wrappers) resolve.
+func (ctx *fleetCtx) solveRepliers() {
+	ctx.repliers = map[fnKey]bool{}
+	for changed := true; changed; {
+		changed = false
+		for mi, m := range ctx.mods {
+			for fi, f := range m.funcs {
+				k := fnKey{mi, fi}
+				if ctx.repliers[k] {
+					continue
+				}
+				v, sawReply := ctx.walkFrom(mi, f, f.g.Entry, f.fn.Entry)
+				if v == nil && sawReply {
+					ctx.repliers[k] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// violation describes how a path escaped the recv→reply obligation.
+type violation struct{ desc string }
+
+// walkFrom explores every path of f (in module mi) from instruction
+// startIdx inside block startBlock, looking for an escape: a path
+// that reaches another rpc-recv, a return, a process exit, or a halt
+// before an rpc-reply. It returns the first violation in BFS order
+// (deterministic) and whether any path reached a reply.
+func (ctx *fleetCtx) walkFrom(mi int, f *fnInfo, startBlock int, startIdx uint32) (*violation, bool) {
+	sawReply := false
+	visited := make([]bool, len(f.g.Blocks))
+	type item struct {
+		block int
+		from  uint32
+	}
+	queue := []item{{startBlock, startIdx}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		b := f.g.Blocks[it.block]
+		outcome, at := ctx.blockOutcome(mi, f, b, it.from)
+		switch outcome {
+		case outcomeReply:
+			sawReply = true
+			continue
+		case outcomeRecv:
+			return &violation{desc: "reaches another rpc-recv (instr " + strconv.FormatUint(uint64(at), 10) + ")"}, sawReply
+		}
+		if len(b.Succs) == 0 {
+			return &violation{desc: escapeDesc(f, b)}, sawReply
+		}
+		for _, s := range b.Succs {
+			if !visited[s] {
+				visited[s] = true
+				queue = append(queue, item{s, f.g.Blocks[s].Start})
+			}
+		}
+	}
+	return nil, sawReply
+}
+
+func escapeDesc(f *fnInfo, b *cfg.Block) string {
+	last := f.g.Code[b.End-1]
+	switch {
+	case last.Op == isa.RET:
+		return "returns from the function"
+	case last.NoReturn():
+		return "exits the process"
+	case last.Op == isa.HLT:
+		return "halts"
+	}
+	return "leaves the function"
+}
+
+type outcome uint8
+
+const (
+	outcomeNeutral outcome = iota
+	outcomeReply
+	outcomeRecv
+)
+
+// blockOutcome scans block b from instruction index from for the
+// first protocol event: an rpc-reply (or a block-terminating call to
+// a proven always-replier, possibly in another module) closes the
+// obligation; an rpc-recv re-opens it. Anything else is neutral and
+// the walk continues through the successors.
+func (ctx *fleetCtx) blockOutcome(mi int, f *fnInfo, b *cfg.Block, from uint32) (outcome, uint32) {
+	if from < b.Start {
+		from = b.Start
+	}
+	for idx := from; idx < b.End; idx++ {
+		in := f.g.Code[idx]
+		if in.Op != isa.SYS {
+			continue
+		}
+		switch int(in.Imm) {
+		case isa.SysRPCReply:
+			return outcomeReply, idx
+		case isa.SysRPCRecv:
+			return outcomeRecv, idx
+		}
+	}
+	if b.EndsInCall && from < b.End {
+		if k, _, ok := ctx.resolveCall(mi, b); ok && ctx.repliers[k] {
+			return outcomeReply, b.End - 1
+		}
+	}
+	return outcomeNeutral, 0
+}

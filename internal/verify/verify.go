@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"traceback/internal/cfg"
 	"traceback/internal/core"
@@ -104,17 +105,25 @@ const (
 	PassEncoding  = "decodability"
 )
 
-// AllPasses lists every pass in execution order.
+// AllPasses lists every pass name in sorted order, for stable -passes
+// usage text and JSON output. Execution order is fixed by Verify
+// itself (structure always first), not by this list.
 func AllPasses() []string {
-	return []string{PassStructure, PassCoverage, PassSafety, PassMap, PassEncoding}
+	names := []string{PassStructure, PassCoverage, PassSafety, PassMap, PassEncoding}
+	sort.Strings(names)
+	return names
 }
 
 // Diagnostic is one finding. Instr and DAG are -1 when the finding is
 // not tied to an instruction or DAG; File/Line are the source position
-// of Instr when the module's line table covers it.
+// of Instr when the module's line table covers it. Module is set only
+// by fleet-mode verification, where diagnostics from several modules
+// mix in one result and need attribution; single-module output leaves
+// it empty and renders byte-identically to before the field existed.
 type Diagnostic struct {
 	Pass     string   `json:"pass"`
 	Severity Severity `json:"severity"`
+	Module   string   `json:"module,omitempty"`
 	Func     string   `json:"func,omitempty"`
 	DAG      int      `json:"dag"`
 	Instr    int      `json:"instr"`
@@ -129,15 +138,19 @@ func (d Diagnostic) String() string {
 	if d.File != "" {
 		pos = fmt.Sprintf("%s:%d: ", d.File, d.Line)
 	}
-	loc := ""
+	var parts []string
+	if d.Module != "" {
+		parts = append(parts, "module "+d.Module)
+	}
 	if d.Func != "" {
-		loc = " (func " + d.Func
-		if d.Instr >= 0 {
-			loc += fmt.Sprintf(", instr %d", d.Instr)
-		}
-		loc += ")"
-	} else if d.Instr >= 0 {
-		loc = fmt.Sprintf(" (instr %d)", d.Instr)
+		parts = append(parts, "func "+d.Func)
+	}
+	if d.Instr >= 0 {
+		parts = append(parts, fmt.Sprintf("instr %d", d.Instr))
+	}
+	loc := ""
+	if len(parts) > 0 {
+		loc = " (" + strings.Join(parts, ", ") + ")"
 	}
 	return fmt.Sprintf("%s%s: [%s] %s%s", pos, d.Severity, d.Pass, d.Msg, loc)
 }

@@ -8,6 +8,7 @@ package verify_test
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 
@@ -230,6 +231,75 @@ func TestVerifyMetrics(t *testing.T) {
 	}
 	if mt.DiagErrors.Load() == 0 {
 		t.Error("expected error diagnostics counted")
+	}
+}
+
+func TestAllPassesSorted(t *testing.T) {
+	passes := verify.AllPasses()
+	if !sort.StringsAreSorted(passes) {
+		t.Errorf("AllPasses() = %v, want sorted order", passes)
+	}
+	want := map[string]bool{
+		verify.PassStructure: true, verify.PassCoverage: true, verify.PassSafety: true,
+		verify.PassMap: true, verify.PassEncoding: true,
+	}
+	if len(passes) != len(want) {
+		t.Fatalf("AllPasses() = %v, want %d passes", passes, len(want))
+	}
+	for _, p := range passes {
+		if !want[p] {
+			t.Errorf("unexpected pass %q", p)
+		}
+	}
+	// Stable across calls.
+	again := verify.AllPasses()
+	for i := range passes {
+		if passes[i] != again[i] {
+			t.Fatalf("AllPasses() unstable: %v vs %v", passes, again)
+		}
+	}
+}
+
+func TestDiagnosticModuleAttribution(t *testing.T) {
+	base := verify.Diagnostic{
+		Pass: verify.PassCoverage, Severity: verify.SevError,
+		Func: "main", DAG: -1, Instr: 7, Msg: "boom",
+	}
+	// Empty module: rendering is byte-identical to the pre-fleet form.
+	if got, want := base.String(), "error: [probe-coverage] boom (func main, instr 7)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "module") {
+		t.Errorf("empty module field must be omitted from JSON: %s", raw)
+	}
+
+	withMod := base
+	withMod.Module = "client"
+	if got, want := withMod.String(), "error: [probe-coverage] boom (module client, func main, instr 7)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	raw, err = json.Marshal(withMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back verify.Diagnostic
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Module != "client" {
+		t.Errorf("module did not round-trip: %+v", back)
+	}
+
+	modOnly := verify.Diagnostic{
+		Pass: "rpc-endpoints", Severity: verify.SevWarn,
+		Module: "server", DAG: -1, Instr: -1, Msg: "m",
+	}
+	if got, want := modOnly.String(), "warning: [rpc-endpoints] m (module server)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
 

@@ -2,19 +2,23 @@
 // internal/verify/seed: one .tbm/.map.json pair per defect class under
 // internal/verify/testdata/corpus, a manifest.json mapping each case
 // to the pass that must flag it, and go-fuzz seed files for
-// FuzzMapFileVerify. Run it after changing the seed mutations or the
+// FuzzMapFileVerify — plus the cross-module fleet corpus (one module
+// set per defect class under corpus/fleet, with seeds for
+// FuzzFleetVerify). Run it after changing the seed mutations or the
 // module/mapfile formats:
 //
 //	go run ./tools/genbroken
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"traceback/internal/verify"
+	"traceback/internal/verify/fleet"
 	"traceback/internal/verify/seed"
 )
 
@@ -102,5 +106,81 @@ func generate() error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d cases)\n", manifestPath, len(manifest))
+	return generateFleet()
+}
+
+type fleetManifestEntry struct {
+	Name    string   `json:"name"`
+	Pass    string   `json:"pass"` // fleet pass expected to flag it; "" = clean
+	Desc    string   `json:"desc"`
+	Modules []string `json:"modules"` // .tbm basenames inside the case dir
+}
+
+// generateFleet writes the cross-module corpus: one directory of .tbm
+// files per case under internal/verify/testdata/corpus/fleet (tbcheck
+// -fleet -broken runs over these in make check), a manifest, and fuzz
+// seeds for FuzzFleetVerify.
+func generateFleet() error {
+	cases, err := seed.FleetCases()
+	if err != nil {
+		return err
+	}
+	fleetDir := filepath.Join("internal", "verify", "testdata", "corpus", "fleet")
+	fuzzDir := filepath.Join("internal", "verify", "fleet", "testdata", "fuzz", "FuzzFleetVerify")
+	if err := os.MkdirAll(fuzzDir, 0o755); err != nil {
+		return err
+	}
+
+	var manifest []fleetManifestEntry
+	for _, c := range cases {
+		var inputs []fleet.Input
+		for _, fm := range c.Modules {
+			inputs = append(inputs, fleet.Input{Module: fm.Module, Path: fm.Name})
+		}
+		res := fleet.Verify(inputs, fleet.Options{})
+		if c.Pass == "" && !res.Ok() {
+			return fmt.Errorf("fleet case %s: baseline not clean (%d errors)", c.Name, res.NumError)
+		}
+		if c.Pass != "" && !res.HasError(c.Pass) {
+			return fmt.Errorf("fleet case %s: pass %s did not flag it", c.Name, c.Pass)
+		}
+
+		caseDir := filepath.Join(fleetDir, c.Name)
+		if err := os.MkdirAll(caseDir, 0o755); err != nil {
+			return err
+		}
+		entry := fleetManifestEntry{Name: c.Name, Pass: c.Pass, Desc: c.Desc}
+		for _, fm := range c.Modules {
+			var buf bytes.Buffer
+			if _, err := fm.Module.WriteTo(&buf); err != nil {
+				return err
+			}
+			modPath := filepath.Join(caseDir, fm.Name+".tbm")
+			if err := os.WriteFile(modPath, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			entry.Modules = append(entry.Modules, fm.Name+".tbm")
+
+			// Each mutated module doubles as a fuzz seed: the fuzzer
+			// starts from structurally valid serialized modules.
+			seedFile := filepath.Join(fuzzDir, "seed-"+c.Name+"-"+fm.Name)
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", buf.Bytes())
+			if err := os.WriteFile(seedFile, []byte(body), 0o644); err != nil {
+				return err
+			}
+		}
+		manifest = append(manifest, entry)
+		fmt.Printf("wrote %s (%d modules, +fuzz seeds)\n", caseDir, len(entry.Modules))
+	}
+
+	raw, err := json.MarshalIndent(manifest, "", " ")
+	if err != nil {
+		return err
+	}
+	manifestPath := filepath.Join(fleetDir, "manifest.json")
+	if err := os.WriteFile(manifestPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d fleet cases)\n", manifestPath, len(manifest))
 	return nil
 }
