@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check fault-check triage-check gensnaps genregress recon-bench
+.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check fault-check triage-check shard-check gensnaps genregress recon-bench shard-bench
 
 all: build test
 
@@ -52,9 +52,9 @@ check:
 # The CI gate: static analysis, instrumentation verification, the
 # race-detector pass (which subsumes plain `go test`), the snap
 # warehouse + collection plane end-to-end checks, the bounded
-# fault-injection campaign, and the fleet triage loopback gate; keep
-# this green before merging.
-ci: vet check test-race store-check collect-check fault-check triage-check
+# fault-injection campaign, the fleet triage loopback gate, and the
+# sharded-warehouse gate; keep this green before merging.
+ci: vet check test-race store-check collect-check fault-check triage-check shard-check
 
 # Warehouse end-to-end gate: ingest the committed snaps/ fleet plus a
 # fresh re-run of the example scenarios, assert full deduplication and
@@ -95,6 +95,17 @@ fault-check:
 triage-check:
 	$(GO) run ./tools/triagecheck
 
+# Sharded warehouse gate: boot a three-shard loopback fleet plus a
+# fan-out gate and a single-node reference daemon, push the same
+# campaign through both, and assert the union of shard journals is
+# byte-identical to the single-node index, the gate's wire responses
+# match the single daemon byte for byte, a seeded tbfault campaign
+# through the gate flags exactly the injected signatures, and a
+# kill/restart of one shard mid-campaign redirects uploads (counted
+# in coll_agent_failover_total) without losing a snap.
+shard-check:
+	$(GO) run ./tools/shardcheck
+
 # Regenerate the committed example snap fleet (deterministic; only
 # needed when the examples or the instrumentation change).
 gensnaps:
@@ -111,6 +122,12 @@ genregress:
 # numbers — compare shapes across commits, not absolute values.
 recon-bench:
 	$(GO) run ./cmd/tbbench -recon
+
+# Gate fan-out trajectory: ns per fan-out round trip and per triage
+# query over loopback fleets of 1/2/4 shards. Wall-clock numbers —
+# compare the cost growth across shard counts, not absolute values.
+shard-bench:
+	$(GO) run ./cmd/tbbench -shard
 
 # Race-detector pass over everything, including the pipeline-vs-oracle
 # stress test (jobs 1/4/16 against one shared MapCache).

@@ -9,6 +9,13 @@
 //
 //	tbagent -spool /var/spool/traceback -server http://collector:7321
 //	tbagent -spool spool -server http://127.0.0.1:7321 -once
+//
+// Against a sharded fleet, -server takes the comma-separated shard
+// list in ring order; the agent places each snap by its content hash
+// and fails over to the next live shard when the home shard is down
+// or draining (counted in coll_agent_failover_total):
+//
+//	tbagent -spool spool -server http://s0:7321,http://s1:7321,http://s2:7321
 package main
 
 import (
@@ -40,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	fs := flag.NewFlagSet("tbagent", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	spool := fs.String("spool", "spool", "spool directory to watch")
-	server := fs.String("server", "http://127.0.0.1:7321", "collection daemon base URL")
+	server := fs.String("server", "http://127.0.0.1:7321", "collection daemon base URL(s), comma-separated in shard-ring order")
 	once := fs.Bool("once", false, "drain the spool and exit instead of watching")
 	poll := fs.Duration("poll", 2*time.Second, "spool poll interval")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
@@ -59,14 +66,23 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		return fail(fmt.Errorf("unexpected arguments %v", fs.Args()))
 	}
 
+	var servers []string
+	for _, s := range strings.Split(*server, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			servers = append(servers, s)
+		}
+	}
 	reg := telemetry.New()
-	ag := collect.NewAgent(*spool, *server, collect.AgentOptions{
+	ag, err := collect.NewFleetAgent(*spool, servers, collect.AgentOptions{
 		Client:      &http.Client{Timeout: *timeout},
 		BackoffBase: *backoffBase,
 		BackoffMax:  *backoffMax,
 		Seed:        *seed,
 		Telemetry:   reg,
 	})
+	if err != nil {
+		return fail(err)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -75,7 +91,6 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		cancel()
 	}()
 
-	var err error
 	if *once {
 		err = ag.Drain(ctx)
 	} else {

@@ -22,11 +22,21 @@ func main() {
 		rec      = flag.Bool("recon", false, "benchmark the reconstruction pipeline over the committed snap fleet instead of the paper tables")
 		recSnaps = flag.String("recon-snaps", "snaps", "snap fleet directory for -recon (maps in <dir>/maps)")
 		recOut   = flag.String("recon-out", "BENCH_recon.json", "output file for -recon")
+		shrd     = flag.Bool("shard", false, "benchmark gate fan-out queries over loopback shard fleets instead of the paper tables")
+		shrdIn   = flag.String("shard-snaps", "snaps", "snap fleet directory for -shard (maps in <dir>/maps)")
+		shrdOut  = flag.String("shard-out", "BENCH_shard.json", "output file for -shard")
 	)
 	flag.Parse()
 
 	if *rec {
 		if err := reconBench(*recSnaps, *recOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shrd {
+		if err := shardBench(*shrdIn, *shrdOut); err != nil {
 			fmt.Fprintln(os.Stderr, "tbbench:", err)
 			os.Exit(1)
 		}

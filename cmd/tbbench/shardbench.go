@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"traceback/internal/archive"
+	"traceback/internal/collect"
+	"traceback/internal/recon"
+	"traceback/internal/shard"
+	"traceback/internal/shard/gate"
+)
+
+// shardBench measures the fan-out query tier over live loopback
+// fleets: the committed snap fleet is placed onto N shard daemons by
+// the content-hash ring, a gate is put in front, and each point
+// records the full wire cost of a gate query — fan out to every
+// shard, fold the bucket lists, run triage, encode. Host wall-clock
+// numbers, like BENCH_recon.json: the committed BENCH_shard.json is a
+// trajectory — regenerate after gate or merge work and compare shapes
+// (cost growth across shard counts), not absolute nanoseconds.
+type shardPoint struct {
+	Shards         int     `json:"shards"`
+	FanoutsPerSec  float64 `json:"fanoutsPerSec"`  // GET /v1/buckets round trips
+	NsPerFanout    float64 `json:"nsPerFanout"`    // fan-out + merge + encode
+	NsPerTriage    float64 `json:"nsPerTriage"`    // GET /v1/regressions on top of a fresh fan-out
+	MergedBytes    int     `json:"mergedBytes"`    // /v1/buckets response size
+	OccupiedShards int     `json:"occupiedShards"` // shards the ring actually populated
+}
+
+type shardReport struct {
+	V       int          `json:"v"`
+	Fleet   []string     `json:"fleet"`
+	Buckets int          `json:"buckets"`
+	Points  []shardPoint `json:"points"`
+}
+
+// shardCounts are the fleet sizes measured; 1 is the degenerate
+// single-shard gate, so the 1→2→4 shape isolates pure fan-out cost.
+var shardCounts = []int{1, 2, 4}
+
+func shardBench(snapsDir, out string) error {
+	paths, err := filepath.Glob(filepath.Join(snapsDir, "*.snap.json.gz"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no *.snap.json.gz under %s (run: go run ./tools/gensnaps)", snapsDir)
+	}
+	sort.Strings(paths)
+	loader, err := recon.NewDirLoader(filepath.Join(snapsDir, "maps"))
+	if err != nil {
+		return err
+	}
+	maps := recon.NewMapCache(loader.Load)
+
+	// Reconstruct the fleet once; every shard count reuses the snaps,
+	// signatures, and placement sums.
+	pipe := recon.NewPipeline(maps, 0)
+	sources := make([]recon.Source, len(paths))
+	for i, p := range paths {
+		sources[i] = recon.FileSource(p)
+	}
+	results := pipe.Run(sources)
+	sigs := make([]archive.Signature, len(results))
+	sums := make([]string, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("%s: %v", paths[i], res.Err)
+		}
+		sigs[i] = archive.FromTrace(res.Trace)
+		if sums[i], _, err = archive.ChecksumSnap(res.Trace.Snap); err != nil {
+			return fmt.Errorf("%s: %v", paths[i], err)
+		}
+	}
+
+	rep := shardReport{V: 1}
+	for _, p := range paths {
+		rep.Fleet = append(rep.Fleet, filepath.Base(p))
+	}
+
+	for _, n := range shardCounts {
+		pt, buckets, err := shardPointAt(n, results, sigs, sums, maps)
+		if err != nil {
+			return fmt.Errorf("%d shard(s): %w", n, err)
+		}
+		rep.Buckets = buckets
+		rep.Points = append(rep.Points, pt)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("shard bench: %d snap(s), %d bucket(s)\n", len(paths), rep.Buckets)
+	for _, pt := range rep.Points {
+		fmt.Printf("  shards %-2d %8.0f fanouts/sec  %10.0f ns/fanout  %10.0f ns/triage  (%d occupied)\n",
+			pt.Shards, pt.FanoutsPerSec, pt.NsPerFanout, pt.NsPerTriage, pt.OccupiedShards)
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// shardPointAt boots an n-shard loopback fleet plus a gate, places
+// the fleet by ring, and measures the two gate query shapes.
+func shardPointAt(n int, results []recon.Result, sigs []archive.Signature, sums []string, maps recon.MapResolver) (shardPoint, int, error) {
+	ring, err := shard.NewRing(n)
+	if err != nil {
+		return shardPoint{}, 0, err
+	}
+	root, err := os.MkdirTemp("", "tbbench-shard-*")
+	if err != nil {
+		return shardPoint{}, 0, err
+	}
+	defer os.RemoveAll(root)
+
+	occupied := map[int]bool{}
+	urls := make([]string, n)
+	for s := 0; s < n; s++ {
+		arch, err := archive.Open(filepath.Join(root, fmt.Sprintf("shard%d", s)))
+		if err != nil {
+			return shardPoint{}, 0, err
+		}
+		defer arch.Close()
+		for i, res := range results {
+			home, err := ring.Place(sums[i])
+			if err != nil {
+				return shardPoint{}, 0, err
+			}
+			if home != s {
+				continue
+			}
+			occupied[s] = true
+			if _, err := arch.Ingest(res.Trace.Snap, sigs[i]); err != nil {
+				return shardPoint{}, 0, err
+			}
+		}
+		ts := httptest.NewServer(collect.NewServer(arch, collect.ServerOptions{}).Handler())
+		defer ts.Close()
+		urls[s] = ts.URL
+	}
+
+	g, err := gate.New(urls, gate.Options{Maps: maps})
+	if err != nil {
+		return shardPoint{}, 0, err
+	}
+	gts := httptest.NewServer(g.Handler())
+	defer gts.Close()
+
+	// Warm both routes (connection pools, triage caches) and take the
+	// merged view's stats outside the measured loops.
+	body, err := fetchOK(gts.URL + collect.PathBuckets)
+	if err != nil {
+		return shardPoint{}, 0, err
+	}
+	var tr collect.TopResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return shardPoint{}, 0, err
+	}
+	if _, err := fetchOK(gts.URL + collect.PathRegressions); err != nil {
+		return shardPoint{}, 0, err
+	}
+
+	pt := shardPoint{Shards: n, MergedBytes: len(body), OccupiedShards: len(occupied)}
+	ns, err := timeRoute(gts.URL + collect.PathBuckets)
+	if err != nil {
+		return shardPoint{}, 0, err
+	}
+	pt.NsPerFanout = ns
+	pt.FanoutsPerSec = round2(1e9 / ns)
+	if pt.NsPerTriage, err = timeRoute(gts.URL + collect.PathRegressions); err != nil {
+		return shardPoint{}, 0, err
+	}
+	return pt, len(tr.Buckets), nil
+}
+
+// timeRoute drives the route for a fixed window and returns mean
+// wall nanoseconds per round trip.
+func timeRoute(url string) (float64, error) {
+	const minWindow = 300 * time.Millisecond
+	iters := 0
+	t0 := time.Now()
+	for time.Since(t0) < minWindow {
+		if _, err := fetchOK(url); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return round2(float64(time.Since(t0).Nanoseconds()) / float64(iters)), nil
+}
+
+func fetchOK(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
+}

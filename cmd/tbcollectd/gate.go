@@ -1,0 +1,75 @@
+// The -gate mode: tbcollectd as the fan-out query tier of a sharded
+// fleet. It owns no warehouse; every triage route fans out to the
+// listed shards and serves the deterministic merge
+// (internal/shard/gate).
+//
+//	tbcollectd -gate http://s0:7321,http://s1:7321,http://s2:7321 -listen :7320
+//
+// The shard list order is the ring order — it must match the order
+// the fleet's tbagent instances were given.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"traceback/internal/recon"
+	"traceback/internal/shard/gate"
+)
+
+func runGate(listen, shardsCSV, mapsDir string, drainTimeout time.Duration,
+	stdout io.Writer, fail func(error) int, sigs <-chan os.Signal) int {
+	var shards []string
+	for _, s := range strings.Split(shardsCSV, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	var maps recon.MapResolver
+	if mapsDir != "" {
+		loader, err := recon.NewDirLoader(mapsDir)
+		if err != nil {
+			return fail(err)
+		}
+		maps = recon.NewMapCache(loader.Load)
+	}
+	g, err := gate.New(shards, gate.Options{Maps: maps})
+	if err != nil {
+		return fail(err)
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "tbcollectd: gate listening on http://%s over %d shard(s)\n",
+		l.Addr(), len(shards))
+
+	errc := make(chan error, 1)
+	go func() { errc <- g.Serve(l) }()
+	select {
+	case <-sigs:
+		fmt.Fprintln(stdout, "tbcollectd: gate shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		derr := g.Shutdown(ctx)
+		cancel()
+		if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && derr == nil {
+			derr = serr
+		}
+		if derr != nil {
+			return fail(derr)
+		}
+	case serr := <-errc:
+		if serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			return fail(serr)
+		}
+	}
+	fmt.Fprintln(stdout, "tbcollectd: gate stopped")
+	return 0
+}

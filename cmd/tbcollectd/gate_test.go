@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"traceback/internal/archive"
+	"traceback/internal/collect"
+)
+
+// TestGateModeServesMergedFleet boots tbcollectd -gate over two
+// in-process shard daemons, checks a fan-out query and the aggregate
+// health view, and shuts it down with a signal.
+func TestGateModeServesMergedFleet(t *testing.T) {
+	var shardURLs []string
+	for i := 0; i < 2; i++ {
+		arch, err := archive.Open(filepath.Join(t.TempDir(), "wh"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { arch.Close() })
+		ts := httptest.NewServer(collect.NewServer(arch, collect.ServerOptions{}).Handler())
+		t.Cleanup(ts.Close)
+		shardURLs = append(shardURLs, ts.URL)
+	}
+
+	var stdout, stderr syncBuffer
+	sigs := make(chan os.Signal, 1)
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run([]string{"-listen", "127.0.0.1:0", "-gate", strings.Join(shardURLs, ",")},
+			&stdout, &stderr, sigs)
+	}()
+
+	base := waitForListen(t, &stdout)
+	resp, err := http.Get(base + collect.PathBuckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr collect.TopResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || tr.V != 1 {
+		t.Fatalf("gate buckets: %s, v=%d", resp.Status, tr.V)
+	}
+
+	resp, err = http.Get(base + collect.PathHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr struct {
+		State  string `json:"state"`
+		Shards []any  `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hr.State != collect.HealthOK || len(hr.Shards) != 2 {
+		t.Fatalf("gate health: state=%q shards=%d, want ok over 2", hr.State, len(hr.Shards))
+	}
+
+	sigs <- os.Interrupt
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("gate exited %d: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gate did not stop after signal")
+	}
+	if out := stdout.String(); !strings.Contains(out, "gate stopped") {
+		t.Errorf("shutdown not reported:\n%s", out)
+	}
+}

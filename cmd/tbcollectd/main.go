@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	inflight := fs.Int("inflight", 4, "max concurrent ingests before 429 backpressure")
 	maxBody := fs.Int64("max-body", 64<<20, "max upload body size in bytes")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "bound on the graceful drain at shutdown")
+	gateShards := fs.String("gate", "", "comma-separated shard base URLs: run as a fan-out query gate instead of a warehouse daemon")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	}
 	if fs.NArg() != 0 {
 		return fail(fmt.Errorf("unexpected arguments %v", fs.Args()))
+	}
+	if *gateShards != "" {
+		return runGate(*listen, *gateShards, *mapsDir, *drainTimeout, stdout, fail, sigs)
 	}
 
 	var maps recon.MapResolver

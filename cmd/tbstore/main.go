@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -480,7 +481,10 @@ func (c *cli) clusters(args []string) (err error) {
 
 // watch polls a tbcollectd daemon's health and regression views,
 // printing one summary per tick — the terminal dashboard for a fleet
-// collector.
+// collector. An unreachable daemon (killed, restarting, network blip)
+// does not end the watch: ticks keep coming with jittered exponential
+// backoff between them, and the first successful poll afterward prints
+// a one-line reconnected notice so the outage is visible in the log.
 func (c *cli) watch(args []string) error {
 	fs := flag.NewFlagSet("tbstore watch", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
@@ -491,25 +495,51 @@ func (c *cli) watch(args []string) error {
 		return err
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	base := strings.TrimRight(*url, "/")
+	down := 0 // consecutive unreachable ticks
 	for tick := 1; *count == 0 || tick <= *count; tick++ {
 		if tick > 1 {
-			time.Sleep(*interval)
+			d := *interval
+			if down > 0 {
+				// The daemon is away: back off exponentially (capped at
+				// 8x the interval) with jitter in [d/2, d], so a fleet of
+				// watchers does not hammer a restarting daemon in
+				// lockstep.
+				for i := 1; i < down && d < 8*(*interval); i++ {
+					d *= 2
+				}
+				if d > 8*(*interval) {
+					d = 8 * (*interval)
+				}
+				d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+			}
+			time.Sleep(d)
 		}
-		c.watchTick(client, strings.TrimRight(*url, "/"), tick)
+		if c.watchTick(client, base, tick) {
+			if down > 0 {
+				fmt.Fprintf(c.stdout, "tick %d: reconnected to %s after %d failed attempt(s)\n", tick, base, down)
+			}
+			down = 0
+		} else {
+			down++
+		}
 	}
 	return nil
 }
 
-func (c *cli) watchTick(client *http.Client, base string, tick int) {
+// watchTick polls once; false means the daemon was unreachable (the
+// caller's cue to back off and announce the reconnect later).
+func (c *cli) watchTick(client *http.Client, base string, tick int) bool {
 	var hr collect.HealthResponse
 	if err := getJSON(client, base+collect.PathHealth, &hr); err != nil {
 		fmt.Fprintf(c.stdout, "tick %d: %s unreachable: %v\n", tick, base, err)
-		return
+		return false
 	}
 	var rep triage.Report
 	if err := getJSON(client, base+collect.PathRegressions, &rep); err != nil {
 		fmt.Fprintf(c.stdout, "tick %d: state=%s (regressions: %v)\n", tick, hr.State, err)
-		return
+		return true
 	}
 	flagged := rep.Flagged()
 	fmt.Fprintf(c.stdout, "tick %d: state=%s up=%ds buckets=%d blobs=%d bytes=%d inflight=%d flagged=%d\n",
@@ -517,6 +547,7 @@ func (c *cli) watchTick(client *http.Client, base string, tick int) {
 	for _, a := range flagged {
 		fmt.Fprintf(c.stdout, "  %-8s x%-4d %s  %s\n", a.Class, a.Recent, a.Sig, a.Title)
 	}
+	return true
 }
 
 // getJSON fetches and decodes one JSON endpoint; non-2xx statuses

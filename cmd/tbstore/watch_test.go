@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"traceback/internal/archive"
+	"traceback/internal/collect"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: watch writes from the
+// test goroutine races the assertions otherwise.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func waitFor(t *testing.T, out *syncBuffer, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(out.String(), substr) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("never saw %q in watch output:\n%s", substr, out.String())
+}
+
+// TestWatchReconnectsAfterDaemonRestart: kill the watched daemon mid-
+// watch, restart it on the same address, and the watch must ride the
+// outage out — unreachable ticks with backoff, then a one-line
+// reconnected notice, never an exit.
+func TestWatchReconnectsAfterDaemonRestart(t *testing.T) {
+	arch, err := archive.Open(filepath.Join(t.TempDir(), "wh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	srv := collect.NewServer(arch, collect.ServerOptions{})
+	go srv.Serve(l)
+
+	var out syncBuffer
+	var errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"watch", "-url", "http://" + addr, "-interval", "5ms", "-count", "400"}, &out, &errb)
+	}()
+
+	waitFor(t, &out, "state=ok")
+
+	// Kill the daemon: the listener closes, polls start failing.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	waitFor(t, &out, "unreachable")
+
+	// Restart on the same address; the watch must notice and say so.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := collect.NewServer(arch, collect.ServerOptions{})
+	go srv2.Serve(l2)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv2.Shutdown(ctx)
+		cancel()
+	}()
+
+	waitFor(t, &out, "reconnected to http://"+addr)
+
+	if code := <-done; code != 0 {
+		t.Fatalf("watch exited %d: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "failed attempt(s)") {
+		t.Errorf("reconnect notice does not count the outage:\n%s", text)
+	}
+	// The notice is one line.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "reconnected to") && strings.Count(line, "tick") != 1 {
+			t.Errorf("malformed reconnect notice: %q", line)
+		}
+	}
+}

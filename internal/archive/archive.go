@@ -18,6 +18,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -360,6 +361,31 @@ func (a *Archive) LoadSnap(sum string) (*snap.Snap, error) {
 	}
 	defer f.Close()
 	return snap.LoadAuto(f)
+}
+
+// OpenBlob opens the stored gzip blob for sum as-is, for streaming it
+// over the wire without a decode/re-encode round trip (the collection
+// daemon's GET /v1/blob path, which the fan-out gate uses to pull
+// exemplars off their home shard). The blob must be resident; a
+// GC-removed or never-stored sum is an error even if a stale file
+// lingers on disk.
+func (a *Archive) OpenBlob(sum string) (io.ReadCloser, int64, error) {
+	r, ok := a.ref(sum)
+	if !ok {
+		return nil, 0, fmt.Errorf("archive: blob %s is not resident", sum)
+	}
+	f, err := os.Open(a.blobPath(sum))
+	if err != nil {
+		return nil, 0, fmt.Errorf("archive: blob %s: %w", sum, err)
+	}
+	return f, r.Bytes, nil
+}
+
+// JournalPath is the on-disk location of the append-only journal —
+// exposed so fleet-level checkers can union shard journals and compare
+// the reduction against a single node's (see IndexBytesOf).
+func (a *Archive) JournalPath() string {
+	return filepath.Join(a.root, journalName)
 }
 
 // Buckets returns every bucket, most occurrences first (count desc,

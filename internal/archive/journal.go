@@ -310,6 +310,16 @@ func encodeIndex(idx *Index) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// IndexBytesOf reduces an arbitrary batch of journal records to
+// canonical index bytes. The reduction is order-independent, so the
+// concatenated journals of N shards reduce to exactly the bytes a
+// single node ingesting the same events would produce — the
+// byte-equivalence that tools/shardcheck gates the sharded warehouse
+// on.
+func IndexBytesOf(recs []JournalRecord) ([]byte, error) {
+	return encodeIndex(reduceJournal(recs).index())
+}
+
 // reduceJournal replays records into a fresh state.
 func reduceJournal(recs []JournalRecord) *state {
 	st := newState()

@@ -1,0 +1,125 @@
+package archive
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"testing"
+
+	"traceback/internal/snap"
+)
+
+// TestOpenBlobStreamsStoredBytes: OpenBlob hands back the gzip blob
+// exactly as stored (size and content), and refuses non-resident sums
+// — including a GC'd blob whose file is already gone.
+func TestOpenBlobStreamsStoredBytes(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	r, err := a.Ingest(mkSnap("h1", 1), sigFor("aa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, size, err := a.OpenBlob(r.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	raw, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != size {
+		t.Errorf("OpenBlob size = %d, stream yielded %d bytes", size, len(raw))
+	}
+	onDisk, err := os.ReadFile(a.blobPath(r.Sum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, onDisk) {
+		t.Error("OpenBlob stream differs from the stored blob file")
+	}
+	if _, err := gzip.NewReader(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("stream is not gzip: %v", err)
+	}
+	got, err := snap.LoadAuto(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("stream does not decode as a snap: %v", err)
+	}
+	sum, _, err := ChecksumSnap(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != r.Sum {
+		t.Errorf("streamed snap re-checksums to %s, want %s", sum[:8], r.Sum[:8])
+	}
+
+	if _, _, err := a.OpenBlob("0000000000000000000000000000000000000000000000000000000000000000"); err == nil {
+		t.Error("OpenBlob of an unknown sum succeeded")
+	}
+}
+
+// TestIndexBytesOfUnionEqualsSingleNode: concatenating the journals of
+// two archives that split one fleet reduces to byte-identical index
+// bytes as the archive that ingested everything — the pure-fold
+// property the sharded warehouse is built on.
+func TestIndexBytesOfUnionEqualsSingleNode(t *testing.T) {
+	single, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	parts := make([]*Archive, 2)
+	for i := range parts {
+		p, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		parts[i] = p
+	}
+
+	for n := 0; n < 12; n++ {
+		s := mkSnap("h1", n)
+		sig := sigFor([]string{"aa", "bb", "cc"}[n%3])
+		if _, err := single.Ingest(s, sig); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parts[n%2].Ingest(s, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var union []JournalRecord
+	for _, p := range parts {
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(p.JournalPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := DecodeJournal(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		union = append(union, recs...)
+	}
+
+	got, err := IndexBytesOf(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.IndexBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("union reduction differs from single-node index:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

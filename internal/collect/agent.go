@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"traceback/internal/archive"
+	"traceback/internal/shard"
 	"traceback/internal/snap"
 	"traceback/internal/telemetry"
 )
@@ -116,7 +117,13 @@ type AgentOptions struct {
 // those retries safe: re-uploading committed content is a no-op.
 type Agent struct {
 	spool string
-	base  string
+	// servers holds the daemon base URLs in shard-ring order. A single
+	// entry is the classic one-daemon deployment; more make the agent
+	// shard-aware (fleet.go): snaps place by content hash, with
+	// failover to the next live shard when the home shard is down or
+	// draining.
+	servers []string
+	ring    *shard.Ring // nil when len(servers) == 1
 
 	client      *http.Client
 	backoffBase time.Duration
@@ -125,6 +132,9 @@ type Agent struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	healthMu sync.Mutex
+	health   []bool // per-server liveness, refreshed each pass (fleet mode)
 
 	reg *telemetry.Registry
 	rec *telemetry.Recorder
@@ -137,11 +147,36 @@ type agentMetrics struct {
 	retries      *telemetry.Counter
 	backpressure *telemetry.Counter
 	quarantined  *telemetry.Counter
+	failovers    *telemetry.Counter
 }
 
 // NewAgent builds an uploader for one spool directory against a
 // daemon base URL (e.g. "http://collector:7321").
 func NewAgent(spool, baseURL string, opts AgentOptions) *Agent {
+	a, err := NewFleetAgent(spool, []string{baseURL}, opts)
+	if err != nil {
+		// Unreachable: a one-server fleet is always constructible.
+		panic(err)
+	}
+	return a
+}
+
+// NewFleetAgent builds a shard-aware uploader over the fleet's daemon
+// base URLs, listed in shard-ring order (every agent and the gate must
+// agree on the order — it is the placement function). One URL behaves
+// exactly like NewAgent.
+func NewFleetAgent(spool string, servers []string, opts AgentOptions) (*Agent, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("collect: fleet agent needs at least one server")
+	}
+	var ring *shard.Ring
+	if len(servers) > 1 {
+		r, err := shard.NewRing(len(servers))
+		if err != nil {
+			return nil, err
+		}
+		ring = r
+	}
 	if opts.Client == nil {
 		opts.Client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -161,9 +196,14 @@ func NewAgent(spool, baseURL string, opts AgentOptions) *Agent {
 	if reg == nil {
 		reg = telemetry.New()
 	}
+	bases := make([]string, len(servers))
+	for i, s := range servers {
+		bases[i] = strings.TrimRight(s, "/")
+	}
 	a := &Agent{
 		spool:       spool,
-		base:        strings.TrimRight(baseURL, "/"),
+		servers:     bases,
+		ring:        ring,
 		client:      opts.Client,
 		backoffBase: opts.BackoffBase,
 		backoffMax:  opts.BackoffMax,
@@ -178,6 +218,7 @@ func NewAgent(spool, baseURL string, opts AgentOptions) *Agent {
 		retries:      reg.Counter("coll_agent_retries_total", "retryable upload failures (retried with backoff)"),
 		backpressure: reg.Counter("coll_agent_backpressure_total", "429 backpressure responses honored"),
 		quarantined:  reg.Counter("coll_agent_quarantined_total", "spool entries quarantined (unreadable or rejected)"),
+		failovers:    reg.Counter("coll_agent_failover_total", "uploads redirected off their home shard (down or draining)"),
 	}
 	reg.GaugeFunc("coll_agent_spooled", "snaps waiting in the spool", func() int64 {
 		paths, err := a.scan()
@@ -186,7 +227,7 @@ func NewAgent(spool, baseURL string, opts AgentOptions) *Agent {
 		}
 		return int64(len(paths))
 	})
-	return a
+	return a, nil
 }
 
 // Metrics returns the agent's registry.
@@ -296,6 +337,9 @@ func (a *Agent) pass(ctx context.Context) (done, remaining int, hint time.Durati
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	if len(paths) > 0 {
+		a.refreshHealth(ctx)
+	}
 	for _, p := range paths {
 		if ctx.Err() != nil {
 			remaining++
@@ -341,10 +385,16 @@ func (a *Agent) processFile(ctx context.Context, path string) (outcome, time.Dur
 	if err != nil {
 		return a.quarantine(path, err)
 	}
+	base, err := a.targetFor(sum)
+	if err != nil {
+		// Every shard down or draining: spool-and-retry, like a single
+		// daemon being unreachable.
+		return outRetry, 0, err
+	}
 
 	// Dedup precheck: a HEAD round trip instead of the whole body for
 	// crashes the warehouse already holds.
-	req, err := http.NewRequestWithContext(ctx, http.MethodHead, a.base+PathBlobPrefix+sum, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, base+PathBlobPrefix+sum, nil)
 	if err != nil {
 		return outRetry, 0, err
 	}
@@ -370,7 +420,7 @@ func (a *Agent) processFile(ctx context.Context, path string) (outcome, time.Dur
 	if err := sn.SaveCompressed(&body); err != nil {
 		return a.quarantine(path, err)
 	}
-	req, err = http.NewRequestWithContext(ctx, http.MethodPost, a.base+PathSnap, &body)
+	req, err = http.NewRequestWithContext(ctx, http.MethodPost, base+PathSnap, &body)
 	if err != nil {
 		return outRetry, 0, err
 	}

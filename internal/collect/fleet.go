@@ -1,0 +1,90 @@
+// Shard-aware upload routing: the agent side of the multi-node
+// warehouse. Placement needs no coordination — the agent already
+// computed the snap's SHA-256 for the spool name and the wire
+// protocol, and the first 32 bits of that sum index the shard ring
+// (internal/shard). The failover policy is deliberately minimal:
+// probe every shard's /healthz once per pass, send each snap to the
+// first live shard in ring order from its home, and when nothing is
+// live fall back to the spool-and-retry behavior the agent already
+// has for a single unreachable daemon. A draining shard (503) counts
+// as down so restarts and planned drains redirect rather than bounce.
+//
+// Failover can land content off its home shard; the warehouse merge
+// (internal/shard) dedups by content address, so the fleet view loses
+// nothing — the redirect just costs the byte-placement invariant
+// until the blob is re-homed, which is why it is counted
+// (coll_agent_failover_total) and flight-recorded.
+package collect
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+)
+
+// targetFor picks the daemon base URL for one snap: its ring home
+// when that shard is live, otherwise the next live shard in ring
+// order (counted and flight-recorded as a failover). With every shard
+// down it errors, and the caller leaves the snap spooled.
+func (a *Agent) targetFor(sum string) (string, error) {
+	if a.ring == nil {
+		return a.servers[0], nil
+	}
+	home, err := a.ring.Place(sum)
+	if err != nil {
+		return "", err
+	}
+	up := a.healthSnapshot()
+	n := len(a.servers)
+	for i := 0; i < n; i++ {
+		s := (home + i) % n
+		if s < len(up) && up[s] {
+			if s != home {
+				a.met.failovers.Inc()
+				a.rec.Record(0, "coll-agent-failover",
+					fmt.Sprintf("%s: shard %d -> %d", sum[:12], home, s))
+			}
+			return a.servers[s], nil
+		}
+	}
+	return "", fmt.Errorf("collect: no live shard for %s (home %d of %d)", sum[:12], home, n)
+}
+
+// refreshHealth probes every shard's /healthz once, caching liveness
+// for the pass. Single-server agents skip this — their liveness check
+// is the upload attempt itself, and probing would double every test's
+// request count for nothing.
+func (a *Agent) refreshHealth(ctx context.Context) {
+	if a.ring == nil {
+		return
+	}
+	up := make([]bool, len(a.servers))
+	for i, base := range a.servers {
+		up[i] = a.probeHealth(ctx, base)
+	}
+	a.healthMu.Lock()
+	a.health = up
+	a.healthMu.Unlock()
+}
+
+func (a *Agent) healthSnapshot() []bool {
+	a.healthMu.Lock()
+	defer a.healthMu.Unlock()
+	return a.health
+}
+
+// probeHealth reports whether a shard should receive uploads: only a
+// 200 /healthz counts. Draining daemons answer 503 — alive, but
+// telling the fleet to go elsewhere.
+func (a *Agent) probeHealth(ctx context.Context, base string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+PathHealth, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -118,6 +118,7 @@ func NewServer(arch *archive.Archive, opts ServerOptions) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("HEAD "+PathBlobPrefix+"{sum}", s.handlePrecheck)
+	mux.HandleFunc("GET "+PathBlobPrefix+"{sum}", s.handleBlob)
 	mux.HandleFunc("POST "+PathSnap, s.handleUpload)
 	mux.HandleFunc("GET "+PathBuckets, s.handleBuckets)
 	mux.HandleFunc("GET "+PathTop, s.handleTop)
@@ -184,6 +185,27 @@ func (s *Server) handlePrecheck(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.precheckMiss.Inc()
 	w.WriteHeader(http.StatusNotFound)
+}
+
+// handleBlob streams a resident blob back as stored (gzip of the
+// canonical snap JSON). The read complement of the upload path; the
+// fan-out gate uses it to pull cluster exemplars off their shard.
+func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
+	sum := r.PathValue("sum")
+	if !validSum(sum) {
+		http.Error(w, "bad content address", http.StatusBadRequest)
+		return
+	}
+	rc, size, err := s.arch.OpenBlob(sum)
+	if err != nil {
+		http.Error(w, "blob not resident", http.StatusNotFound)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set(HeaderSum, sum)
+	io.Copy(w, rc)
 }
 
 // handleUpload is the ingest path: bounded by the semaphore, verified

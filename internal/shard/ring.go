@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// PrefixBits is how much of the content address places a snap: the
+// leading 32 bits (8 hex digits) of its SHA-256. SHA-256 output is
+// uniform, so range-partitioning this prefix balances shards to within
+// statistical noise without looking at the rest of the sum.
+const PrefixBits = 32
+
+// prefixSpace is the size of the placement key space, 2^PrefixBits.
+const prefixSpace = uint64(1) << PrefixBits
+
+// maxShards bounds the ring size so the fixed-point arithmetic in
+// Place and Range stays comfortably inside uint64.
+const maxShards = 1 << 16
+
+// Ring is a fixed-size shard ring: a deterministic, stateless map
+// from content addresses to shard ordinals [0, N). Two Rings built
+// with the same N agree everywhere, which is the whole coordination
+// story — agents, gates, and checkers each build their own.
+type Ring struct {
+	n int
+}
+
+// NewRing builds a ring over n shards.
+func NewRing(n int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: ring needs at least 1 shard, got %d", n)
+	}
+	if n > maxShards {
+		return nil, fmt.Errorf("shard: ring of %d shards exceeds the supported maximum %d", n, maxShards)
+	}
+	return &Ring{n: n}, nil
+}
+
+// Shards reports the ring size.
+func (r *Ring) Shards() int { return r.n }
+
+// Prefix extracts the placement key from a SHA-256 hex sum: its first
+// 8 hex digits as a 32-bit integer. The sum must be at least 8
+// lowercase-hex characters (every content address the archive produces
+// is 64).
+func Prefix(sum string) (uint64, error) {
+	if len(sum) < PrefixBits/4 {
+		return 0, fmt.Errorf("shard: content address %q too short for placement", sum)
+	}
+	p, err := strconv.ParseUint(sum[:PrefixBits/4], 16, PrefixBits)
+	if err != nil {
+		return 0, fmt.Errorf("shard: content address %q is not hex: %v", sum, err)
+	}
+	return p, nil
+}
+
+// Place maps a content address onto its home shard. The partition is
+// shard = prefix·N / 2^32 — each shard owns one contiguous prefix
+// range, and the map is a pure function of (sum, N).
+func (r *Ring) Place(sum string) (int, error) {
+	p, err := Prefix(sum)
+	if err != nil {
+		return 0, err
+	}
+	return r.place(p), nil
+}
+
+func (r *Ring) place(prefix uint64) int {
+	return int(prefix * uint64(r.n) / prefixSpace)
+}
+
+// Range reports the half-open prefix interval [lo, hi) shard s owns.
+// The intervals tile the space: Range(0).lo == 0, Range(N-1).hi ==
+// 2^32, and Range(s).hi == Range(s+1).lo.
+func (r *Ring) Range(s int) (lo, hi uint64) {
+	lo = ceilDiv(uint64(s)*prefixSpace, uint64(r.n))
+	hi = ceilDiv(uint64(s+1)*prefixSpace, uint64(r.n))
+	return lo, hi
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// MovedRange is one contiguous prefix interval whose ownership
+// changes between two ring sizes.
+type MovedRange struct {
+	Lo, Hi   uint64 // half-open prefix interval
+	From, To int    // owning shard before and after
+}
+
+// Moved enumerates exactly the prefix ranges that change owner when
+// the ring grows (or shrinks) from r to next: the union of both rings'
+// partition boundaries, filtered to intervals whose owners differ.
+// Everything outside the returned ranges keeps its shard — the
+// stability property the placement tests pin down.
+func (r *Ring) Moved(next *Ring) []MovedRange {
+	cuts := map[uint64]bool{0: true, prefixSpace: true}
+	for s := 0; s < r.n; s++ {
+		lo, _ := r.Range(s)
+		cuts[lo] = true
+	}
+	for s := 0; s < next.n; s++ {
+		lo, _ := next.Range(s)
+		cuts[lo] = true
+	}
+	bounds := make([]uint64, 0, len(cuts))
+	for c := range cuts {
+		bounds = append(bounds, c)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+	var out []MovedRange
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		from, to := r.place(lo), next.place(lo)
+		if from != to {
+			// Within [lo, hi) both placements are constant (no boundary
+			// of either ring cuts it), so the whole interval moves.
+			out = append(out, MovedRange{Lo: lo, Hi: hi, From: from, To: to})
+		}
+	}
+	return out
+}

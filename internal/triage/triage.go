@@ -21,6 +21,7 @@ import (
 
 	"traceback/internal/archive"
 	"traceback/internal/recon"
+	"traceback/internal/snap"
 	"traceback/internal/telemetry"
 )
 
@@ -82,11 +83,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Analyzer computes triage views over one archive, caching the
+// Warehouse is the index surface triage analyzes: the bucket list in
+// canonical order, prefix resolution, the newest snap time, and
+// exemplar retrieval. *archive.Archive is the single-node
+// implementation; the fan-out gate (internal/shard/gate) satisfies it
+// with merged shard state, so the same analyzer triages a whole fleet.
+type Warehouse interface {
+	Buckets() []archive.Bucket
+	Bucket(sigPrefix string) (archive.Bucket, error)
+	NewestTime() uint64
+	LoadSnap(sum string) (*snap.Snap, error)
+}
+
+var _ Warehouse = (*archive.Archive)(nil)
+
+// Analyzer computes triage views over one warehouse, caching the
 // expensive parts (exemplar fault views, pairwise distances) across
 // queries. Safe for concurrent use.
 type Analyzer struct {
-	arch *archive.Archive
+	arch Warehouse
 	maps recon.MapResolver
 	cfg  Config
 
@@ -109,11 +124,12 @@ type metrics struct {
 	clusterNanos  *telemetry.Histogram
 }
 
-// New builds an analyzer over an open archive. maps resolves the
+// New builds an analyzer over a warehouse (a single-node
+// *archive.Archive or a fleet-merging gate). maps resolves the
 // mapfiles exemplar reconstruction needs; nil disables clustering by
 // fault view (every bucket becomes its own cluster). reg receives the
 // triage_* metrics (nil: a private registry).
-func New(arch *archive.Archive, maps recon.MapResolver, cfg Config, reg *telemetry.Registry) *Analyzer {
+func New(arch Warehouse, maps recon.MapResolver, cfg Config, reg *telemetry.Registry) *Analyzer {
 	if reg == nil {
 		reg = telemetry.New()
 	}

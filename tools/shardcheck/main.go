@@ -1,0 +1,475 @@
+// shardcheck is the sharded-warehouse CI gate (`make shard-check`):
+// it boots an in-process 3-shard fleet (three tbcollectd servers over
+// loopback TCP), a fan-out gate over them, and a shard-aware agent,
+// and asserts the three properties the multi-node design stands on:
+//
+//  1. Byte-equivalence under healthy placement: a fleet of snaps
+//     uploaded through the shard-aware agent lands so that the union
+//     of the three shard journals reduces to index bytes identical to
+//     a single node ingesting the same fleet, and the gate's merged
+//     /v1/buckets matches the single node's byte for byte.
+//  2. Kill/restart loses nothing: with one shard down mid-campaign,
+//     uploads redirect to the next live shard (counted in
+//     coll_agent_failover_total and flight-recorded); after the shard
+//     restarts on the same address, every uploaded snap is resident
+//     somewhere, every signature is present in the gate's merged
+//     view, and the spool is empty. Byte-equivalence is deliberately
+//     NOT asserted here: a failover may journal the same content on
+//     two shards, which inflates occurrence counts — the design trade
+//     documented in internal/shard.
+//  3. Fleet triage through the gate: a steady background staged
+//     across the ten newest rate windows plus one seeded tbfault
+//     campaign in the newest window must make GET /v1/regressions on
+//     the gate flag exactly the campaign-only signatures.
+//
+// Everything is seeded and snap times are synthetic, so the whole
+// gate is deterministic. Any violation exits nonzero with a diagnosis.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"traceback/internal/archive"
+	"traceback/internal/collect"
+	"traceback/internal/fault"
+	"traceback/internal/recon"
+	"traceback/internal/scenario"
+	"traceback/internal/shard"
+	"traceback/internal/shard/gate"
+	"traceback/internal/snap"
+	"traceback/internal/telemetry"
+	"traceback/internal/triage"
+)
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "shardcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+const (
+	shards       = 3
+	campaignSeed = 3
+	horizon      = 10 // windows of steady background
+)
+
+// shardNode is one in-process tbcollectd shard the check can kill and
+// restart on a stable address.
+type shardNode struct {
+	arch *archive.Archive
+	maps *recon.MapSet
+	addr string
+	srv  *collect.Server
+	errc chan error
+}
+
+func (n *shardNode) url() string { return "http://" + n.addr }
+
+func (n *shardNode) start(l net.Listener) {
+	n.srv = collect.NewServer(n.arch, collect.ServerOptions{Maps: n.maps, MaxInflight: 8})
+	n.errc = make(chan error, 1)
+	srv, errc := n.srv, n.errc
+	go func() { errc <- srv.Serve(l) }()
+}
+
+func (n *shardNode) kill() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := n.srv.Shutdown(ctx); err != nil {
+		die("killing shard %s: %v", n.addr, err)
+	}
+	if err := <-n.errc; err != nil && err != http.ErrServerClosed {
+		die("shard %s serve: %v", n.addr, err)
+	}
+}
+
+func (n *shardNode) restart() {
+	l, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		die("restarting shard on %s: %v", n.addr, err)
+	}
+	n.start(l)
+}
+
+func main() {
+	builts, err := scenario.All()
+	if err != nil {
+		die("building scenarios: %v", err)
+	}
+	maps := scenario.MapSet(builts...)
+
+	camp, err := fault.New(fault.Config{
+		Seed: campaignSeed, Kinds: []string{fault.KindKill}, Scenarios: []string{"quickstart"},
+	})
+	if err != nil {
+		die("building campaign: %v", err)
+	}
+	_, faultSnaps, faultMaps, err := camp.Trial(fault.KindKill, "quickstart")
+	if err != nil {
+		die("campaign trial: %v", err)
+	}
+	if len(faultSnaps) == 0 {
+		die("campaign trial produced no snaps")
+	}
+	for _, mf := range faultMaps {
+		maps.Add(mf)
+	}
+
+	root, err := os.MkdirTemp("", "shardcheck-*")
+	if err != nil {
+		die("%v", err)
+	}
+	defer os.RemoveAll(root)
+
+	// Boot the fleet: three shards and a single-node reference over
+	// the same map set.
+	ring, err := shard.NewRing(shards)
+	if err != nil {
+		die("%v", err)
+	}
+	nodes := make([]*shardNode, shards)
+	urls := make([]string, shards)
+	for i := range nodes {
+		arch, err := archive.Open(filepath.Join(root, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			die("opening shard %d store: %v", i, err)
+		}
+		defer arch.Close()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			die("listen: %v", err)
+		}
+		nodes[i] = &shardNode{arch: arch, maps: maps, addr: l.Addr().String()}
+		nodes[i].start(l)
+		urls[i] = nodes[i].url()
+	}
+	single, err := archive.Open(filepath.Join(root, "single"))
+	if err != nil {
+		die("opening single-node store: %v", err)
+	}
+	defer single.Close()
+	singleSrv := collect.NewServer(single, collect.ServerOptions{Maps: maps, MaxInflight: 8})
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die("listen: %v", err)
+	}
+	singleBase := "http://" + sl.Addr().String()
+	serrc := make(chan error, 1)
+	go func() { serrc <- singleSrv.Serve(sl) }()
+
+	gw, err := gate.New(urls, gate.Options{Maps: maps})
+	if err != nil {
+		die("building gate: %v", err)
+	}
+	gl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die("listen: %v", err)
+	}
+	gateBase := "http://" + gl.Addr().String()
+	gerrc := make(chan error, 1)
+	go func() { gerrc <- gw.Serve(gl) }()
+
+	// The shard-aware agent: one spool, the fleet's URL list in ring
+	// order, quick retries (loopback failures are cheap).
+	spool := filepath.Join(root, "spool")
+	reg := telemetry.New()
+	ag, err := collect.NewFleetAgent(spool, urls, collect.AgentOptions{
+		BackoffBase: 10 * time.Millisecond, BackoffMax: 250 * time.Millisecond,
+		Seed: 1, Telemetry: reg,
+	})
+	if err != nil {
+		die("building fleet agent: %v", err)
+	}
+	drain := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := ag.Drain(ctx); err != nil {
+			die("drain: %v", err)
+		}
+	}
+
+	W := archive.WindowWidth
+
+	// ---- Phase 1: healthy placement, byte-equivalence. ----
+	// Steady background: every scenario snap in every one of the
+	// horizon newest windows, plus the campaign in the newest window —
+	// spooled through the agent AND mirrored into the single node.
+	steady := map[string]bool{}
+	injected := map[string]bool{}
+	mirror := func(s *snap.Snap) {
+		if _, err := Spool(spool, s); err != nil {
+			die("spool: %v", err)
+		}
+		if _, err := single.IngestUnique(s, archive.SignSnap(s, maps)); err != nil {
+			die("single-node ingest: %v", err)
+		}
+	}
+	for win := uint64(0); win < horizon; win++ {
+		for _, b := range builts {
+			for _, s := range b.Snaps {
+				cp := *s
+				cp.Time = win*W + W/4
+				steady[archive.SignSnap(&cp, maps).ID] = true
+				mirror(&cp)
+			}
+		}
+	}
+	for _, s := range faultSnaps {
+		cp := *s
+		cp.Time = (horizon-1)*W + W/2
+		if id := archive.SignSnap(&cp, maps).ID; !steady[id] {
+			injected[id] = true
+		}
+		mirror(&cp)
+	}
+	if len(injected) == 0 {
+		die("seed %d campaign signatures all collide with the baseline", campaignSeed)
+	}
+	drain()
+
+	if got := metricValue(reg, "coll_agent_failover_total"); got != 0 {
+		die("healthy fleet recorded %d failover(s)", got)
+	}
+	// Placement respected: every blob is resident on its ring home.
+	for i, n := range nodes {
+		for _, b := range n.arch.Buckets() {
+			for _, ref := range b.Snaps {
+				home, err := ring.Place(ref.Sum)
+				if err != nil {
+					die("%v", err)
+				}
+				if home != i {
+					die("blob %s resident on shard %d, ring homes it on %d", ref.Sum[:12], i, home)
+				}
+			}
+		}
+	}
+	// Union of the shard journals reduces to the single node's exact
+	// index bytes.
+	var union []archive.JournalRecord
+	for i, n := range nodes {
+		if err := n.arch.Flush(); err != nil {
+			die("flushing shard %d: %v", i, err)
+		}
+		f, err := os.Open(n.arch.JournalPath())
+		if err != nil {
+			die("%v", err)
+		}
+		recs, err := archive.DecodeJournal(f)
+		f.Close()
+		if err != nil {
+			die("shard %d journal: %v", i, err)
+		}
+		union = append(union, recs...)
+	}
+	unionBytes, err := archive.IndexBytesOf(union)
+	if err != nil {
+		die("%v", err)
+	}
+	singleBytes, err := single.IndexBytes()
+	if err != nil {
+		die("%v", err)
+	}
+	if !bytes.Equal(unionBytes, singleBytes) {
+		die("union of shard journals does not reduce to the single-node index bytes")
+	}
+	// And the gate's merged view matches the single daemon on the wire.
+	for _, route := range []string{collect.PathBuckets, collect.PathTop + "?n=5", collect.PathRegressions} {
+		gateBody := fetch(gateBase + route)
+		singleBody := fetch(singleBase + route)
+		if !bytes.Equal(gateBody, singleBody) {
+			die("gate %s differs from single node:\ngate:\n%s\nsingle:\n%s", route, gateBody, singleBody)
+		}
+	}
+
+	// ---- Phase 2: fleet triage through the gate. ----
+	flagged := fetchFlagged(gateBase)
+	for sig := range injected {
+		if !flagged[sig] {
+			die("gate /v1/regressions did not flag injected campaign signature %s", sig)
+		}
+	}
+	for sig := range flagged {
+		if !injected[sig] {
+			die("gate /v1/regressions flagged %s, which was not injected", sig)
+		}
+	}
+
+	// ---- Phase 3: kill/restart mid-campaign loses nothing. ----
+	victim := 1
+	var sums []string
+	spoolLate := func(s *snap.Snap) {
+		sum, _, err := archive.ChecksumSnap(s)
+		if err != nil {
+			die("%v", err)
+		}
+		sums = append(sums, sum)
+		if _, err := Spool(spool, s); err != nil {
+			die("spool: %v", err)
+		}
+	}
+	homes := 0
+	for i, b := range builts {
+		for j, s := range b.Snaps {
+			cp := *s
+			cp.Time = horizon*W + uint64(i*16+j) // unique content, newest window
+			spoolLate(&cp)
+			home, err := ring.Place(sums[len(sums)-1])
+			if err != nil {
+				die("%v", err)
+			}
+			if home == victim {
+				homes++
+			}
+		}
+	}
+	if homes == 0 {
+		die("no late snap homes on shard %d; the kill/restart phase needs one", victim)
+	}
+	nodes[victim].kill()
+	drain() // failover carries shard 1's snaps to the next live shard
+	if got := metricValue(reg, "coll_agent_failover_total"); got < homes {
+		die("coll_agent_failover_total = %d after kill, want at least %d", got, homes)
+	}
+	if !hasFlightEvent(reg, "coll-agent-failover") {
+		die("no coll-agent-failover flight event recorded")
+	}
+	nodes[victim].restart()
+
+	// A second late batch lands after the restart — the fleet is whole
+	// again, so placement must hold for it.
+	before := len(sums)
+	for i, b := range builts {
+		for j, s := range b.Snaps {
+			cp := *s
+			cp.Time = horizon*W + W/2 + uint64(i*16+j)
+			spoolLate(&cp)
+		}
+	}
+	if before == len(sums) {
+		die("no snaps in the post-restart batch")
+	}
+	drain()
+
+	// Nothing lost: every uploaded sum is resident on some shard, and
+	// the gate still merges every signature.
+	for _, sum := range sums {
+		found := false
+		for _, n := range nodes {
+			if n.arch.Has(sum) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			die("blob %s lost across kill/restart", sum[:12])
+		}
+	}
+	var tr collect.TopResponse
+	if err := json.Unmarshal(fetch(gateBase+collect.PathBuckets), &tr); err != nil {
+		die("gate buckets: %v", err)
+	}
+	merged := map[string]bool{}
+	for _, b := range tr.Buckets {
+		merged[b.Sig] = true
+	}
+	for sig := range steady {
+		if !merged[sig] {
+			die("steady signature %s missing from the gate after kill/restart", sig)
+		}
+	}
+	for sig := range injected {
+		if !merged[sig] {
+			die("injected signature %s missing from the gate after kill/restart", sig)
+		}
+	}
+
+	// Shut the fleet down cleanly.
+	for _, n := range nodes {
+		n.kill()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		die("gate shutdown: %v", err)
+	}
+	if err := <-gerrc; err != nil && err != http.ErrServerClosed {
+		die("gate serve: %v", err)
+	}
+	if err := singleSrv.Shutdown(ctx); err != nil {
+		die("single-node shutdown: %v", err)
+	}
+	if err := <-serrc; err != nil && err != http.ErrServerClosed {
+		die("single-node serve: %v", err)
+	}
+
+	fmt.Printf("shardcheck: OK — %d shard(s): union byte-identical to single node, gate flagged %d/%d injected, kill/restart redirected %d upload(s) and lost nothing\n",
+		shards, len(injected), len(injected), metricValue(reg, "coll_agent_failover_total"))
+}
+
+// Spool mirrors collect.Spool (kept local so the check reads like the
+// agent deployment it simulates).
+func Spool(dir string, s *snap.Snap) (string, error) {
+	return collect.Spool(dir, s)
+}
+
+func fetch(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		die("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		die("GET %s: status %s", url, resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		die("GET %s: %v", url, err)
+	}
+	return buf.Bytes()
+}
+
+// fetchFlagged pulls /v1/regressions and returns the flagged set.
+func fetchFlagged(base string) map[string]bool {
+	var rep triage.Report
+	if err := json.Unmarshal(fetch(base+collect.PathRegressions), &rep); err != nil {
+		die("regressions: %v", err)
+	}
+	out := map[string]bool{}
+	for _, a := range rep.Flagged() {
+		out[a.Sig] = true
+	}
+	return out
+}
+
+// metricValue reads one counter out of a registry's Prometheus dump.
+func metricValue(reg *telemetry.Registry, name string) int {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		die("metrics: %v", err)
+	}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		var v int
+		if _, err := fmt.Sscanf(string(line), name+" %d", &v); err == nil {
+			return v
+		}
+	}
+	die("metric %s not registered", name)
+	return 0
+}
+
+func hasFlightEvent(reg *telemetry.Registry, kind string) bool {
+	for _, e := range reg.FlightRecorder().Events() {
+		if e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
