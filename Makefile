@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check fault-check triage-check shard-check gensnaps genregress recon-bench shard-bench
+.PHONY: all build test test-short test-race vet check ci fuzz bench examples tables verify clean store-check collect-check fault-check triage-check shard-check replay-check gensnaps genregress recon-bench shard-bench replay-bench
 
 all: build test
 
@@ -52,9 +52,10 @@ check:
 # The CI gate: static analysis, instrumentation verification, the
 # race-detector pass (which subsumes plain `go test`), the snap
 # warehouse + collection plane end-to-end checks, the bounded
-# fault-injection campaign, the fleet triage loopback gate, and the
-# sharded-warehouse gate; keep this green before merging.
-ci: vet check test-race store-check collect-check fault-check triage-check shard-check
+# fault-injection campaign, the fleet triage loopback gate, the
+# sharded-warehouse gate, and the record-and-replay gate; keep this
+# green before merging.
+ci: vet check test-race store-check collect-check fault-check triage-check shard-check replay-check
 
 # Warehouse end-to-end gate: ingest the committed snaps/ fleet plus a
 # fresh re-run of the example scenarios, assert full deduplication and
@@ -95,6 +96,15 @@ fault-check:
 triage-check:
 	$(GO) run ./tools/triagecheck
 
+# Record-and-replay gate: re-record every example scenario and hold
+# the fresh harvest to the committed snaps/ fleet byte for byte, then
+# replay each recording — and every committed regression-corpus case's
+# embedded recording — asserting byte-identical reconstruction; seeded
+# divergent logs (corrupted checkpoint, torn tail) must be rejected
+# with machine-readable divergence reports. Fully deterministic.
+replay-check:
+	$(GO) run ./tools/replaycheck
+
 # Sharded warehouse gate: boot a three-shard loopback fleet plus a
 # fan-out gate and a single-node reference daemon, push the same
 # campaign through both, and assert the union of shard journals is
@@ -129,6 +139,12 @@ recon-bench:
 shard-bench:
 	$(GO) run ./cmd/tbbench -shard
 
+# Record-and-replay trajectory: recording overhead (%) and replay
+# speed relative to a plain run, per example scenario. Wall-clock
+# numbers — compare shapes across commits, not absolute values.
+replay-bench:
+	$(GO) run ./cmd/tbbench -replay
+
 # Race-detector pass over everything, including the pipeline-vs-oracle
 # stress test (jobs 1/4/16 against one shared MapCache).
 test-race:
@@ -139,6 +155,7 @@ test-race:
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceRecordDecode -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzNondetRecordDecode -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSnapReader -fuzztime $(FUZZTIME) ./internal/snap
 	$(GO) test -run '^$$' -fuzz FuzzMapFileVerify -fuzztime $(FUZZTIME) ./internal/verify
 	$(GO) test -run '^$$' -fuzz FuzzFleetVerify -fuzztime $(FUZZTIME) ./internal/verify/fleet

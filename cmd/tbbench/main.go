@@ -25,6 +25,8 @@ func main() {
 		shrd     = flag.Bool("shard", false, "benchmark gate fan-out queries over loopback shard fleets instead of the paper tables")
 		shrdIn   = flag.String("shard-snaps", "snaps", "snap fleet directory for -shard (maps in <dir>/maps)")
 		shrdOut  = flag.String("shard-out", "BENCH_shard.json", "output file for -shard")
+		rply     = flag.Bool("replay", false, "benchmark record overhead and replay speed over the example scenarios instead of the paper tables")
+		rplyOut  = flag.String("replay-out", "BENCH_replay.json", "output file for -replay")
 	)
 	flag.Parse()
 
@@ -37,6 +39,13 @@ func main() {
 	}
 	if *shrd {
 		if err := shardBench(*shrdIn, *shrdOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *rply {
+		if err := replayBench(*rplyOut); err != nil {
 			fmt.Fprintln(os.Stderr, "tbbench:", err)
 			os.Exit(1)
 		}

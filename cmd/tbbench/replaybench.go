@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"traceback/internal/replay"
+	"traceback/internal/scenario"
+)
+
+// replayBench measures the record-and-replay subsystem per example
+// scenario: what recording costs the original run, and how replay
+// compares to a plain execution. Host wall-clock numbers — the
+// committed BENCH_replay.json is a trajectory; regenerate after
+// record/replay work and compare shapes, not absolute nanoseconds.
+// (Cycle-level invariance of recording is proven separately by the
+// parity tests: the recorder never changes VM behavior, only host
+// cost.)
+type replayPoint struct {
+	Scenario string `json:"scenario"`
+	// Events is the recording's length; Snaps the harvest size.
+	Events int `json:"events"`
+	Snaps  int `json:"snaps"`
+	// RecordOverheadPct is the wall-clock cost of running with the
+	// recorder installed, relative to a plain run (build + run +
+	// harvest in both).
+	RecordOverheadPct float64 `json:"recordOverheadPct"`
+	// ReplaySpeedRatio is replay wall-clock over plain-run wall-clock
+	// (1.0 = replay as fast as the original; replay additionally pays
+	// the conformance drain against the log).
+	ReplaySpeedRatio float64 `json:"replaySpeedRatio"`
+}
+
+type replayReport struct {
+	V      int           `json:"v"`
+	Points []replayPoint `json:"points"`
+}
+
+func replayBench(out string) error {
+	rep := replayReport{V: 1}
+	for _, b := range scenario.Builders {
+		// One recorded reference run: the log replays below, and its
+		// event count lands in the report.
+		l, res, err := replay.Record(b.Name, false, false)
+		if err != nil {
+			return err
+		}
+
+		plain, err := timeRun(func() error {
+			setup, err := b.Build(scenario.Options{})
+			if err != nil {
+				return err
+			}
+			setup.Run(0)
+			_, err = setup.Collect()
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		recorded, err := timeRun(func() error {
+			_, _, err := replay.Record(b.Name, false, false)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		replayed, err := timeRun(func() error {
+			r, err := replay.Run(l)
+			if err != nil {
+				return err
+			}
+			if r.Divergence != nil {
+				return fmt.Errorf("%s: replay diverged: %v", b.Name, r.Divergence)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		p := replayPoint{
+			Scenario:          b.Name,
+			Events:            len(l.Events),
+			Snaps:             len(res.Snaps),
+			RecordOverheadPct: round2((recorded.Seconds()/plain.Seconds() - 1) * 100),
+			ReplaySpeedRatio:  round2(replayed.Seconds() / plain.Seconds()),
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Printf("%-14s %4d event(s)  record overhead %+6.2f%%  replay/plain %.2fx\n",
+			b.Name, p.Events, p.RecordOverheadPct, p.ReplaySpeedRatio)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// timeRun measures one iteration's mean wall-clock over a minimum
+// window, with one unmeasured warm pass.
+func timeRun(f func() error) (time.Duration, error) {
+	if err := f(); err != nil {
+		return 0, err
+	}
+	const minWindow = 200 * time.Millisecond
+	iters := 0
+	t0 := time.Now()
+	for time.Since(t0) < minWindow {
+		if err := f(); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return time.Since(t0) / time.Duration(iters), nil
+}

@@ -6,6 +6,7 @@
 //	tbdump -func longest_match build/gzip.tb.tbm
 //	tbdump -map build/app.map.json
 //	tbdump -events flight.json            # flight recorder from tbrun -events
+//	tbdump -nondet snap-1.snap.json.gz    # a snap's embedded replay recording
 package main
 
 import (
@@ -15,7 +16,10 @@ import (
 	"strings"
 
 	"traceback/internal/module"
+	"traceback/internal/snap"
 	"traceback/internal/telemetry"
+	"traceback/internal/trace"
+	"traceback/internal/vm"
 )
 
 func main() {
@@ -23,10 +27,11 @@ func main() {
 		fn      = flag.String("func", "", "disassemble only this function")
 		mapDump = flag.Bool("map", false, "treat the input as a mapfile and summarize it")
 		evDump  = flag.Bool("events", false, "treat the input as a flight-recorder dump (tbrun -events) and render it")
+		ndDump  = flag.Bool("nondet", false, "treat the input as a snap and print its embedded nondeterminism recording")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tbdump [flags] <module.tbm|mapfile.json|events.json>")
+		fmt.Fprintln(os.Stderr, "usage: tbdump [flags] <module.tbm|mapfile.json|events.json|snap.json[.gz]>")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -43,6 +48,15 @@ func main() {
 			fatal(err)
 		}
 		dumpEvents(dump)
+		return
+	}
+
+	if *ndDump {
+		s, err := snap.LoadAuto(f)
+		if err != nil {
+			fatal(err)
+		}
+		dumpNondet(s)
 		return
 	}
 
@@ -112,6 +126,41 @@ func dumpEvents(d *telemetry.EventDump) {
 		d.Total, d.Dropped, len(d.Events))
 	for _, e := range d.Events {
 		fmt.Printf("  #%-5d clock %-10d %-16s %s\n", e.Seq, e.Clock, e.Kind, e.Detail)
+	}
+}
+
+// dumpNondet renders a snap's embedded record-and-replay section:
+// the provenance line, then the decoded nondeterminism stream, one
+// event per line in recorded order, with signal numbers resolved to
+// names. This is the log tbreplay re-executes.
+func dumpNondet(s *snap.Snap) {
+	if s.Nondet == nil {
+		fatal(fmt.Errorf("%s/%s: no nondet section (was the run recorded? see tbfault -record)", s.Process, s.Reason))
+	}
+	n := s.Nondet
+	words := make([]trace.Word, len(n.Words()))
+	for i, w := range n.Words() {
+		words[i] = trace.Word(w)
+	}
+	recs, err := trace.DecodeNondet(words)
+	if err != nil {
+		fatal(err)
+	}
+	prov := ""
+	if n.Wrap {
+		prov += " wrap"
+	}
+	if n.Trial {
+		prov += " trial"
+	}
+	fmt.Printf("nondet recording v%d: scenario %s%s · %d event(s) · checkpoint interval %d\n",
+		n.V, n.Scenario, prov, len(recs), n.Interval)
+	for i, r := range recs {
+		line := r.String()
+		if r.Kind == trace.NDSignal {
+			line += " (" + vm.SignalName(int(r.Sig)) + ")"
+		}
+		fmt.Printf("  #%-5d %s\n", i, line)
 	}
 }
 

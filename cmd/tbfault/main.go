@@ -10,12 +10,14 @@
 //	tbfault run -seed 1 -kinds all -report json  # full campaign, JSON report
 //	tbfault replay -dir snaps/regressions        # verify the committed corpus
 //
-// `run` exits 1 when any invariant is violated, writing each
-// violating trial's snaps, mapfiles, and repro line under -regress
-// so the failure can be committed as a regression case. `replay`
-// exits 1 when any committed case no longer matches its manifest —
-// including when a seeded-known-bad case's corruption goes
-// undetected.
+// `run` records every trial's nondeterminism and replay-verifies it
+// byte for byte (disable with -record=false); it exits 1 when any
+// invariant is violated, writing each violating trial's snaps,
+// mapfiles, and repro lines (campaign slice + standalone tbreplay)
+// under -regress so the failure can be committed as a regression
+// case. `replay` exits 1 when any committed case no longer matches
+// its manifest — including when a seeded-known-bad case's corruption
+// goes undetected.
 package main
 
 import (
@@ -60,6 +62,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the report to this file instead of stdout")
 	work := fs.String("work", "", "wire-phase work directory (empty: a temp dir, removed when clean)")
 	regress := fs.String("regress", "", "write each violating trial's snaps+maps+repro under this directory")
+	record := fs.Bool("record", true, "record each trial's nondeterminism and replay-verify it byte for byte; harvested snaps carry the recording for tbreplay")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -99,6 +102,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 		Seed:      *seed,
 		Kinds:     kindList,
 		Scenarios: splitList(*scenarios),
+		Record:    *record,
 		Wire:      wire,
 		WorkDir:   workDir,
 		Telemetry: telemetry.New(),

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"traceback/internal/replay"
+	"traceback/internal/snap"
+	"traceback/internal/trace"
+)
+
+// record writes a recorded quickstart run's snaps (sections attached)
+// into a temp dir and returns their paths.
+func record(t *testing.T) []string {
+	t.Helper()
+	l, res, err := replay.Record("quickstart", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Attach(res.Snaps)
+	dir := t.TempDir()
+	var paths []string
+	for i, s := range res.Snaps {
+		p := filepath.Join(dir, "snap-"+string(rune('1'+i))+".snap.json")
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func TestReplayCLIByteIdentical(t *testing.T) {
+	paths := record(t)
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"-q"}, paths...), &out, &errb); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "byte-identical reconstruction") {
+		t.Fatalf("stdout: %s", out.String())
+	}
+}
+
+func TestReplayCLIJSONVerdict(t *testing.T) {
+	paths := record(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", paths[0]}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errb.String())
+	}
+	var v output
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatalf("unparseable verdict %q: %v", out.String(), err)
+	}
+	if !v.Identical || v.Scenario != "quickstart" || v.Events == 0 {
+		t.Fatalf("verdict %+v", v)
+	}
+}
+
+func TestReplayCLIRendersFaultView(t *testing.T) {
+	paths := record(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{paths[0]}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fault-directed view") {
+		t.Fatalf("no fault view rendered:\n%s", out.String())
+	}
+}
+
+// TestReplayCLIDivergence seeds a corrupt recording into the snap and
+// asserts the machine-readable rejection: exit 1 with a JSON
+// divergence report on stderr.
+func TestReplayCLIDivergence(t *testing.T) {
+	l, res, err := replay.Record("quickstart", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Events {
+		if l.Events[i].Kind == trace.NDQuantum {
+			l.Events[i].Clock++ // the original run never saw this clock
+			break
+		}
+	}
+	l.Attach(res.Snaps)
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.snap.json")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Snaps[0].Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-q", p}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	msg := errb.String()
+	i := strings.Index(msg, "{")
+	if i < 0 {
+		t.Fatalf("no JSON divergence on stderr: %s", msg)
+	}
+	var dv replay.Divergence
+	if err := json.Unmarshal([]byte(strings.TrimSpace(msg[i:])), &dv); err != nil {
+		t.Fatalf("unparseable divergence %q: %v", msg, err)
+	}
+	if dv.Kind != "event-mismatch" {
+		t.Fatalf("divergence kind %q, want event-mismatch", dv.Kind)
+	}
+}
+
+// TestReplayCLINoRecording: a snap without the section is a usage
+// error, not a divergence.
+func TestReplayCLINoRecording(t *testing.T) {
+	_, res, err := replay.Record("quickstart", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s *snap.Snap = res.Snaps[0] // never attached
+	dir := t.TempDir()
+	p := filepath.Join(dir, "plain.snap.json")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errb bytes.Buffer
+	if code := run([]string{p}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errb.String())
+	}
+}
+
+func TestReplayCLIPerturbNonStrict(t *testing.T) {
+	paths := record(t)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-q", "-perturb", "7", paths[0]}, &out, &errb); code != 0 {
+		t.Fatalf("perturbed replay exited %d, want 0 (non-strict); stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "perturbation:") {
+		t.Fatalf("no mutation description in output:\n%s", out.String())
+	}
+	// If the perturbed run departed its log, that's expected — it must
+	// be a note, never the strict-mode divergence error.
+	if strings.Contains(errb.String(), "tbreplay: divergence:") {
+		t.Fatalf("perturbed run reported a strict divergence: %s", errb.String())
+	}
+}

@@ -8,9 +8,10 @@ import (
 	"traceback/internal/telemetry"
 )
 
-// TestCampaignEndToEnd runs a full campaign — every kind, wire phase
-// included — and checks the headline contract: at least six fault
-// kinds exercised end to end, snaps harvested and reconstructed, no
+// TestCampaignEndToEnd runs a full campaign — every kind, recording
+// on, wire phase included — and checks the headline contract: at
+// least six fault kinds exercised end to end, snaps harvested and
+// reconstructed, every trial's recording replay-verified, no
 // invariant violations, and warehouse index parity after a mid-ingest
 // daemon kill.
 func TestCampaignEndToEnd(t *testing.T) {
@@ -18,6 +19,7 @@ func TestCampaignEndToEnd(t *testing.T) {
 	c, err := New(Config{
 		Seed:      1,
 		Kinds:     []string{"all"},
+		Record:    true,
 		Wire:      true,
 		WorkDir:   t.TempDir(),
 		Telemetry: reg,
@@ -47,6 +49,10 @@ func TestCampaignEndToEnd(t *testing.T) {
 		}
 		for _, v := range tr.Violations {
 			t.Errorf("trial %d (%s/%s): %s: %s", tr.Index, tr.Kind, tr.Scenario, v.Invariant, v.Detail)
+		}
+		if !tr.Replayed {
+			t.Errorf("trial %d (%s/%s): recording did not replay-verify (%s)",
+				tr.Index, tr.Kind, tr.Scenario, tr.ReplayDivergence)
 		}
 	}
 	if rep.Wire != nil {
@@ -88,7 +94,9 @@ func TestCampaignEndToEnd(t *testing.T) {
 		"fault_managed_interrupts_total": true,
 		"fault_snaps_total":              true,
 		"fault_collect_kills_total":      true,
+		"fault_replays_total":            true,
 		"fault_violations_total":         false,
+		"fault_replay_divergence_total":  false,
 	}
 	for name, nonzero := range counters {
 		v := reg.Counter(name, "").Load()

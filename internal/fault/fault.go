@@ -126,6 +126,14 @@ type Config struct {
 	// Scenarios restricts trials to these scenarios (nil: all that
 	// apply to each kind).
 	Scenarios []string
+	// Record captures every trial's nondeterminism (kills, signals,
+	// unloads, RPC verdicts, managed interrupts) and replay-verifies
+	// the trial: the recording re-executed as the sole nondeterminism
+	// source must reconstruct the harvest byte for byte. Violations
+	// land under the replay-identical invariant, and the harvested
+	// snaps carry their recording as an embedded section so any snap
+	// committed as evidence replays standalone via tbreplay.
+	Record bool
 	// Wire enables the collection phase: spool → agent → daemon →
 	// warehouse, with index parity asserted against a direct ingest.
 	// Requires WorkDir.
@@ -164,6 +172,8 @@ type campaignMetrics struct {
 	snaps      *telemetry.Counter
 	violations *telemetry.Counter
 	collKills  *telemetry.Counter
+	replays    *telemetry.Counter
+	replayDiv  *telemetry.Counter
 }
 
 // New builds a campaign.
@@ -197,6 +207,8 @@ func New(cfg Config) (*Campaign, error) {
 		snaps:      reg.Counter("fault_snaps_total", "snaps harvested from faulted runs"),
 		violations: reg.Counter("fault_violations_total", "invariant violations detected"),
 		collKills:  reg.Counter("fault_collect_kills_total", "collection daemons killed mid-ingest"),
+		replays:    reg.Counter("fault_replays_total", "trial recordings replay-verified"),
+		replayDiv:  reg.Counter("fault_replay_divergence_total", "trial replays that diverged from their recording"),
 	}
 	return c, nil
 }

@@ -23,6 +23,7 @@ const (
 	InvWrap        = "wrap-exercised"
 	InvIndexParity = "index-parity"
 	InvNoSnap      = "snap-produced"
+	InvReplay      = "replay-identical"
 )
 
 // checkTrial runs every per-trial invariant over a trial's harvest

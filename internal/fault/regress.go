@@ -189,7 +189,17 @@ func WriteArtifacts(dir string, arts []Artifact) ([]string, error) {
 				return paths, err
 			}
 		}
-		if err := os.WriteFile(filepath.Join(base, "repro.txt"), []byte(a.Repro+"\n"), 0o644); err != nil {
+		repro := a.Repro + "\n"
+		// When the harvest carries its recording, the bundle is also
+		// replayable standalone: add the ready-to-run tbreplay line
+		// (relative to the bundle directory).
+		for i, s := range a.Snaps {
+			if s.Nondet != nil {
+				repro += fmt.Sprintf("tbreplay -maps maps snap-%d.snap.json.gz\n", i+1)
+				break
+			}
+		}
+		if err := os.WriteFile(filepath.Join(base, "repro.txt"), []byte(repro), 0o644); err != nil {
 			return paths, err
 		}
 		paths = append(paths, base)

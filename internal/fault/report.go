@@ -29,6 +29,12 @@ type TrialReport struct {
 	// source positions, sorted.
 	FaultLines []string    `json:"faultLines,omitempty"`
 	Violations []Violation `json:"violations,omitempty"`
+	// Replayed reports that the trial's recording re-executed to a
+	// byte-identical harvest (campaigns with Record on);
+	// ReplayDivergence carries the machine-readable report when it
+	// did not.
+	Replayed         bool   `json:"replayed,omitempty"`
+	ReplayDivergence string `json:"replayDivergence,omitempty"`
 	// Repro reruns exactly this trial's campaign slice.
 	Repro string `json:"repro"`
 }

@@ -7,20 +7,10 @@ import (
 	"traceback/internal/module"
 	"traceback/internal/mvm"
 	"traceback/internal/recon"
+	"traceback/internal/replay"
 	"traceback/internal/scenario"
 	"traceback/internal/snap"
-	"traceback/internal/tbrt"
-	"traceback/internal/vm"
-	"traceback/internal/workload"
 )
-
-// wrapConfig is the tiny-buffer runtime configuration the wrap kind
-// uses: small enough that the cross-machine server wraps its buffer
-// several times before faulting, exercising the committed-sub-buffer
-// recovery path.
-func wrapConfig() *tbrt.Config {
-	return &tbrt.Config{BufferWords: 128, SubBuffers: 4, Policy: tbrt.DefaultPolicy()}
-}
 
 func buildScenario(name string, opts scenario.Options) (*scenario.Setup, error) {
 	for _, b := range scenario.Builders {
@@ -72,7 +62,11 @@ func (c *Campaign) runTrial(idx int, kind, scen string, sub int64) (*TrialReport
 	}
 	opts := scenario.Options{}
 	if kind == KindWrap {
-		opts.Config = wrapConfig()
+		// The tiny-buffer configuration: small enough that the
+		// cross-machine server wraps its buffer several times before
+		// faulting, exercising the committed-sub-buffer recovery path.
+		// Shared with replay so Wrap recordings rebuild the same world.
+		opts = replay.WrapOptions()
 	}
 	bl, err := c.baselineFor(scen, opts)
 	if err != nil {
@@ -87,32 +81,25 @@ func (c *Campaign) runTrial(idx int, kind, scen string, sub int64) (*TrialReport
 	p := buildPlan(kind, roles, bl, rng)
 	in := &injector{c: c, setup: setup, p: p}
 	setup.World.SetInjector(in)
+	var rec *replay.Recorder
+	if c.cfg.Record {
+		rec = replay.NewRecorder(0)
+		setup.World.SetRecorder(rec)
+	}
 	c.met.trials.Inc()
 	setup.Run(0)
 
-	// The deadlock scenario's hang detector (and any runtime that
-	// registered with a service) gets its post-run heartbeat check,
-	// as in the uninjected scenario.
-	if setup.Service != nil && len(roles) > 0 {
-		m := setup.Procs[roles[0]].Machine
-		m.SetClock(m.Clock() + 200_000)
-		setup.Service.CheckStatus()
-	}
-
-	// Harvest: policy snaps from each runtime, plus a post-mortem
-	// pull from every process — the collect path a fleet agent runs
-	// after the incident. The post-mortems matter beyond kill -9:
-	// cross-machine causality checks need each peer's final SYNC
-	// history, not just the mid-flight exception snaps.
-	var snaps []*snap.Snap
+	// Harvest: the service heartbeat (hang detection), then policy
+	// snaps from each runtime plus a post-mortem pull from every
+	// process — the collect path a fleet agent runs after the
+	// incident. The post-mortems matter beyond kill -9: cross-machine
+	// causality checks need each peer's final SYNC history, not just
+	// the mid-flight exception snaps. Shared with replay so a
+	// replayed trial's harvest is positionally comparable.
+	snaps := replay.HarvestTrial(setup)
 	wraps := 0
 	for _, role := range roles {
-		rt := setup.Runtimes[role]
-		snaps = append(snaps, rt.Snaps()...)
-		if pm := rt.PostMortemSnap(); pm != nil {
-			snaps = append(snaps, pm)
-		}
-		wraps += rt.Wraps()
+		wraps += setup.Runtimes[role].Wraps()
 	}
 	c.met.snaps.Add(uint64(len(snaps)))
 
@@ -127,83 +114,97 @@ func (c *Campaign) runTrial(idx int, kind, scen string, sub int64) (*TrialReport
 	}
 	ms := recon.NewMapSet(setup.Maps...)
 	c.checkTrial(tr, snaps, ms, wraps)
+	if rec != nil {
+		c.replayVerify(tr, rec.Log(scen, kind == KindWrap, true), snaps)
+	}
 	return tr, snaps, setup.Maps, nil
+}
+
+// replayVerify re-executes a recorded trial with the log as the sole
+// nondeterminism source and holds the replayed harvest to
+// byte-identity with the original — the replay-identical invariant.
+// On success the harvest is stamped with its recording so committed
+// evidence replays standalone.
+func (c *Campaign) replayVerify(tr *TrialReport, l *replay.Log, snaps []*snap.Snap) {
+	violate := func(detail string) {
+		tr.Violations = append(tr.Violations, Violation{Invariant: InvReplay, Detail: detail})
+		c.met.violations.Inc()
+		c.rec.Record(0, "fault-violation", InvReplay+": "+detail)
+	}
+	c.met.replays.Inc()
+	res, err := replay.Verify(l, snaps)
+	if err != nil {
+		c.met.replayDiv.Inc()
+		violate(fmt.Sprintf("replay failed: %v", err))
+		return
+	}
+	if res.Divergence != nil {
+		c.met.replayDiv.Inc()
+		tr.ReplayDivergence = res.Divergence.Error()
+		violate(tr.ReplayDivergence)
+		return
+	}
+	if !res.Identical {
+		c.met.replayDiv.Inc()
+		violate("replay produced a different harvest")
+		return
+	}
+	tr.Replayed = true
+	l.Attach(snaps)
 }
 
 // runManaged executes the managed-runtime trial: the PetShop workload
 // under an asynchronous interrupt at a seeded quantum — the managed
 // analog of a signal storm, snapped by the uncaught-exception policy.
+// The world is built by replay.BuildPetShop so a recording of this
+// trial replays against the identical world.
 func (c *Campaign) runManaged(idx int, sub int64) (*TrialReport, []*snap.Snap, []*module.MapFile, error) {
-	mod := workload.PetShopModule()
-	im, mf, err := mvm.Instrument(mod, 0)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	const workers, requests = 2, 40
-	build := func() (*mvm.VM, []*mvm.MThread, error) {
-		world := vm.NewWorld(88)
-		mach := world.NewMachine("petshop-host", 0)
-		v := mvm.New(mach, nil, "petshop", mvm.RuntimeConfig{SnapOnUncaught: true})
-		if _, err := v.Load(im); err != nil {
-			return nil, nil, err
-		}
-		var threads []*mvm.MThread
-		for i := 0; i < workers; i++ {
-			th, err := v.Start("worker", requests)
-			if err != nil {
-				return nil, nil, err
-			}
-			threads = append(threads, th)
-		}
-		return v, threads, nil
-	}
-	allDone := func(threads []*mvm.MThread) func() bool {
-		return func() bool {
-			for _, th := range threads {
-				if th.State != mvm.MDone {
-					return false
-				}
-			}
-			return true
-		}
-	}
-
 	// Baseline span in managed quanta.
-	key := "petshop"
+	key := replay.ManagedScenario
 	bl, ok := c.spans[key]
 	if !ok {
-		v, threads, err := build()
+		v, threads, _, err := replay.BuildPetShop()
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		var q uint64
 		v.OnQuantum = func(*mvm.VM) { q++ }
-		v.Run(1<<30, allDone(threads))
+		v.Run(1<<30, replay.PetShopDone(threads))
 		bl = baseline{quanta: q}
 		c.spans[key] = bl
 	}
 
 	rng := rand.New(rand.NewSource(sub))
 	at := window(rng, bl.quanta)
-	victim := 1 + rng.Intn(workers)
-	v, threads, err := build()
+	victim := 1 + rng.Intn(replay.PetShopWorkers)
+	v, threads, mf, err := replay.BuildPetShop()
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	tr := &TrialReport{
 		Index:    idx,
-		Scenario: "petshop",
+		Scenario: replay.ManagedScenario,
 		Kind:     KindManaged,
 		SubSeed:  sub,
 		Planned:  []string{fmt.Sprintf("q=%d interrupt petshop t%d", at, victim)},
+	}
+	var rec *replay.Recorder
+	if c.cfg.Record {
+		rec = replay.NewRecorder(0)
 	}
 	var q uint64
 	fired := false
 	v.OnQuantum = func(v *mvm.VM) {
 		q++
+		if rec != nil {
+			rec.ManagedQuantum(q, v.Machine)
+		}
 		if !fired && q >= at {
 			fired = true
 			v.Interrupt(victim, mvm.ExcInterrupted)
+			if rec != nil {
+				rec.ManagedInterrupt(q, victim, mvm.ExcInterrupted)
+			}
 			c.met.interrupts.Inc()
 			c.met.injected.Inc()
 			tr.Fired = append(tr.Fired, fmt.Sprintf("q=%d interrupt petshop t%d", q, victim))
@@ -211,12 +212,15 @@ func (c *Campaign) runManaged(idx int, sub int64) (*TrialReport, []*snap.Snap, [
 		}
 	}
 	c.met.trials.Inc()
-	v.Run(1<<30, allDone(threads))
+	v.Run(1<<30, replay.PetShopDone(threads))
 
 	snaps := v.Runtime().Snaps()
 	c.met.snaps.Add(uint64(len(snaps)))
 	tr.Snaps = len(snaps)
 	maps := []*module.MapFile{mf}
 	c.checkTrial(tr, snaps, recon.NewMapSet(maps...), 0)
+	if rec != nil {
+		c.replayVerify(tr, rec.Log(replay.ManagedScenario, false, true), snaps)
+	}
 	return tr, snaps, maps, nil
 }

@@ -1,0 +1,90 @@
+package snap
+
+import (
+	"bytes"
+	"testing"
+
+	"traceback/internal/trace"
+)
+
+// TestNondetSectionRoundTrip: a snap carrying the optional
+// record-and-replay section round-trips it byte for byte, provenance
+// included.
+func TestNondetSectionRoundTrip(t *testing.T) {
+	s := sample()
+	words := trace.EncodeNondet([]trace.NondetRecord{
+		{Kind: trace.NDQuantum, Quantum: 64, PID: 1, TID: 1, Clock: 4096},
+		{Kind: trace.NDKill, Quantum: 120, PID: 1, Clock: 9999},
+	})
+	n := &NondetLog{V: 1, Scenario: "quickstart", Trial: true, Interval: 64}
+	n.SetWords(wordsOfNondet(words))
+	s.Nondet = n
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nondet == nil {
+		t.Fatal("nondet section lost")
+	}
+	if got.Nondet.V != 1 || got.Nondet.Scenario != "quickstart" || !got.Nondet.Trial || got.Nondet.Interval != 64 {
+		t.Fatalf("provenance changed: %+v", got.Nondet)
+	}
+	w2 := got.Nondet.Words()
+	if len(w2) != len(words) {
+		t.Fatalf("section length %d, want %d", len(w2), len(words))
+	}
+	for i := range words {
+		if trace.Word(w2[i]) != words[i] {
+			t.Fatalf("word %d: %#x != %#x", i, w2[i], words[i])
+		}
+	}
+	recs, err := trace.DecodeNondet(wordsToNondet(w2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Kind != trace.NDKill {
+		t.Fatalf("decoded %+v", recs)
+	}
+}
+
+// TestSnapWithoutNondet: the section is optional and versioned —
+// snaps saved before it existed (or with it stripped) load with
+// Nondet nil, and saving such a snap emits no nondet key at all.
+func TestSnapWithoutNondet(t *testing.T) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"nondet"`)) {
+		t.Fatal("recording-free snap serialized a nondet key")
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nondet != nil {
+		t.Fatalf("nondet section materialized from nothing: %+v", got.Nondet)
+	}
+}
+
+func wordsOfNondet(ws []trace.Word) []uint32 {
+	out := make([]uint32, len(ws))
+	for i, w := range ws {
+		out[i] = uint32(w)
+	}
+	return out
+}
+
+func wordsToNondet(ws []uint32) []trace.Word {
+	out := make([]trace.Word, len(ws))
+	for i, w := range ws {
+		out[i] = trace.Word(w)
+	}
+	return out
+}

@@ -93,6 +93,47 @@ func (b *BufferDump) SetWords(words []uint32) {
 	}
 }
 
+// NondetLog is the optional record-and-replay section: the encoded
+// nondeterminism log (trace.EncodeNondet words, little-endian) of the
+// run that produced the snap, plus the provenance internal/replay
+// needs to rebuild the same world. The section is format-versioned
+// and optional — snaps written before it existed decode with Nondet
+// nil and replay is simply unavailable for them.
+type NondetLog struct {
+	// V is the section format version (bump on layout change).
+	V int `json:"v"`
+	// Scenario names the world builder that produced the run (a
+	// scenario.Builders entry, or "petshop" for the managed runtime).
+	Scenario string `json:"scenario"`
+	// Wrap marks a run under the tiny-buffer wrap-stress runtime
+	// config; Trial marks a fault-campaign-style harvest (service
+	// heartbeat + per-role post-mortem) rather than the scenario's
+	// own Collect path.
+	Wrap  bool `json:"wrap,omitempty"`
+	Trial bool `json:"trial,omitempty"`
+	// Interval is the quantum-checkpoint period the recording used.
+	Interval uint64 `json:"interval"`
+	// Raw holds the encoded log words, little-endian.
+	Raw []byte `json:"raw"`
+}
+
+// Words decodes the raw bytes into log words.
+func (n *NondetLog) Words() []uint32 {
+	out := make([]uint32, len(n.Raw)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(n.Raw[i*4:])
+	}
+	return out
+}
+
+// SetWords encodes words into Raw.
+func (n *NondetLog) SetWords(words []uint32) {
+	n.Raw = make([]byte, len(words)*4)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(n.Raw[i*4:], w)
+	}
+}
+
 // Snap is a complete snapshot.
 type Snap struct {
 	Host      string `json:"host"`
@@ -114,6 +155,11 @@ type Snap struct {
 	// with; the distributed reconstructor uses it to find related
 	// snaps.
 	Partners []uint64 `json:"partners,omitempty"`
+
+	// Nondet, when present, carries the recorded nondeterminism log
+	// of the run that produced this snap (see NondetLog); tbreplay
+	// re-executes from it. Optional: old snaps load unchanged.
+	Nondet *NondetLog `json:"nondet,omitempty"`
 }
 
 // ModuleForDAG resolves a (rebased) DAG ID to its module and the

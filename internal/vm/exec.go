@@ -378,6 +378,9 @@ func (m *Machine) KillProcess(p *Process) {
 	if p.Exited {
 		return
 	}
+	if m.World != nil && m.World.recorder != nil {
+		m.World.recorder.RecordKill(m, p)
+	}
 	p.Exited = true
 	p.FatalSignal = SigKill
 	for _, t := range p.Threads {
@@ -443,8 +446,11 @@ func threadLess(a, b *Thread) bool {
 // thread executes up to Slice instructions. It returns false when no
 // thread could run (all exited, blocked, or sleeping).
 func (m *Machine) Step() bool {
-	if m.World != nil && m.World.injector != nil {
-		m.World.injector.AtQuantum(m)
+	if m.World != nil {
+		m.World.quantum++
+		if m.World.injector != nil {
+			m.World.injector.AtQuantum(m)
+		}
 	}
 	ts := m.runnable()
 	if len(ts) == 0 {
@@ -470,6 +476,9 @@ func (m *Machine) Step() bool {
 	}
 	m.rrIndex = (m.rrIndex + 1) % len(ts)
 	t := ts[m.rrIndex]
+	if m.World != nil && m.World.recorder != nil {
+		m.World.recorder.RecordQuantum(m, t)
+	}
 	for i := 0; i < m.Slice; i++ {
 		if t.State != Runnable || t.Proc.Exited {
 			break

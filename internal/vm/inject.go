@@ -75,6 +75,11 @@ func (m *Machine) InjectSignal(t *Thread, sig int) bool {
 	if t.State == Sleeping {
 		t.State = Runnable
 	}
+	// Delivery is now certain; record it with the pre-delivery PC
+	// (backed up below) so a replay can re-inject at the same point.
+	if w := m.World; w != nil && w.recorder != nil {
+		w.recorder.RecordSignal(m, t, sig, t.PC)
+	}
 	// fault() records the faulting address as t.PC and resumes
 	// handlers at t.PC+1 (synchronous semantics: re-execute nothing
 	// past the faulting instruction). For asynchronous delivery the

@@ -1,0 +1,223 @@
+package vm
+
+import (
+	"testing"
+
+	"traceback/internal/isa"
+)
+
+// testRecorder captures every Recorder callback as a tagged string
+// sequence, preserving arrival order across callback kinds.
+type testRecorder struct {
+	quanta  int
+	signals []struct {
+		tid, sig int
+		prePC    uint64
+	}
+	kills   []int // PIDs
+	unloads []int // handles
+	order   []string
+}
+
+func (r *testRecorder) RecordQuantum(m *Machine, t *Thread) {
+	r.quanta++
+	r.order = append(r.order, "quantum")
+}
+
+func (r *testRecorder) RecordSignal(m *Machine, t *Thread, sig int, prePC uint64) {
+	r.signals = append(r.signals, struct {
+		tid, sig int
+		prePC    uint64
+	}{t.TID, sig, prePC})
+	r.order = append(r.order, "signal")
+}
+
+func (r *testRecorder) RecordKill(m *Machine, p *Process) {
+	r.kills = append(r.kills, p.PID)
+	r.order = append(r.order, "kill")
+}
+
+func (r *testRecorder) RecordUnload(p *Process, lm *LoadedModule) {
+	r.unloads = append(r.unloads, lm.Handle)
+	r.order = append(r.order, "unload")
+}
+
+func (r *testRecorder) RecordRPCFault(from *Thread, endpoint uint64, reply bool, f RPCFault) {
+	r.order = append(r.order, "rpc-fault")
+}
+
+func (r *testRecorder) RecordRPCDeliver(to *Thread, endpoint uint64, from *Thread, payloadLen int) {
+	r.order = append(r.order, "rpc-deliver")
+}
+
+// quantumInjector fires a callback at a chosen world quantum.
+type quantumInjector struct {
+	at    uint64
+	fired bool
+	fn    func(m *Machine)
+}
+
+func (in *quantumInjector) AtQuantum(m *Machine) {
+	if !in.fired && m.World.Quantum() >= in.at {
+		in.fired = true
+		in.fn(m)
+	}
+}
+
+func (in *quantumInjector) AtRPC(*Thread, uint64, bool) RPCFault { return RPCFault{} }
+
+func spinCode() []isa.Instr {
+	// Busy loop long enough to span several quanta, then exit.
+	return []isa.Instr{
+		{Op: isa.MOVI, A: 5, Imm: 0},
+		{Op: isa.MOVI, A: 6, Imm: 2000},
+		{Op: isa.ADDI, A: 5, B: 5, Imm: 1},
+		{Op: isa.BLT, A: 5, B: 6, Imm: 2},
+		{Op: isa.MOVI, A: 1, Imm: 0},
+		{Op: isa.SYS, Imm: isa.SysExit},
+	}
+}
+
+// TestInjectorAndRecorderTogether installs both an injector (which
+// kills the process mid-run) and a recorder, and asserts the recorder
+// observes both the scheduling quanta and the injected kill — with
+// the kill arriving after that quantum's checkpoint callback.
+func TestInjectorAndRecorderTogether(t *testing.T) {
+	p, m := newProc(t, "victim", spinCode())
+	rec := &testRecorder{}
+	m.World.SetRecorder(rec)
+	inj := &quantumInjector{at: 5, fn: func(mm *Machine) { mm.KillProcess(p) }}
+	m.World.SetInjector(inj)
+	if _, err := p.StartMain(0); err != nil {
+		t.Fatal(err)
+	}
+	m.World.Run(1_000_000, func() bool { return p.Exited })
+	if !inj.fired {
+		t.Fatal("injector never fired")
+	}
+	if len(rec.kills) != 1 || rec.kills[0] != p.PID {
+		t.Fatalf("kills = %v, want [%d]", rec.kills, p.PID)
+	}
+	if rec.quanta == 0 {
+		t.Fatal("no quantum callbacks observed")
+	}
+	if p.FatalSignal != SigKill {
+		t.Fatalf("fatal signal = %d", p.FatalSignal)
+	}
+	// The injector runs at the top of Step, before thread selection:
+	// the kill must precede the (never-reached) quantum callback of
+	// its own step, i.e. the order stream ends ...quantum, kill.
+	last := rec.order[len(rec.order)-1]
+	if last != "kill" {
+		t.Fatalf("last observation = %q, want kill", last)
+	}
+}
+
+// TestRecorderKillMidQuantum kills the process from OnStep — midway
+// through an executing slice, not at a quantum boundary — and asserts
+// the recorder still observes exactly one kill and the machine winds
+// down cleanly.
+func TestRecorderKillMidQuantum(t *testing.T) {
+	p, m := newProc(t, "midslice", spinCode())
+	rec := &testRecorder{}
+	m.World.SetRecorder(rec)
+	steps := 0
+	m.OnStep = func(th *Thread) {
+		steps++
+		if steps == m.Slice/2+3 { // mid-slice, not a boundary
+			m.KillProcess(th.Proc)
+		}
+	}
+	if _, err := p.StartThread(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.World.Run(1_000_000, func() bool { return p.Exited })
+	if len(rec.kills) != 1 {
+		t.Fatalf("kills = %v, want exactly one", rec.kills)
+	}
+	if !p.Exited || p.FatalSignal != SigKill {
+		t.Fatalf("process not killed: exited=%v sig=%d", p.Exited, p.FatalSignal)
+	}
+	// A dead machine must stop producing quantum records.
+	before := rec.quanta
+	if m.Step() {
+		t.Fatal("machine still runnable after kill")
+	}
+	if rec.quanta != before {
+		t.Fatal("quantum recorded on a dead machine")
+	}
+	for _, th := range p.Threads {
+		if !th.KilledAbruptly {
+			t.Errorf("thread %d not marked abruptly killed", th.TID)
+		}
+	}
+}
+
+// TestSignalAndUnloadSameQuantum delivers a signal and unloads a
+// module within the same quantum and asserts the recorder sees both,
+// in firing order, with the signal's pre-delivery PC (before
+// InjectSignal backs it up).
+func TestSignalAndUnloadSameQuantum(t *testing.T) {
+	p, m := newProc(t, "both", spinCode())
+	rec := &testRecorder{}
+	m.World.SetRecorder(rec)
+	var prePC uint64
+	inj := &quantumInjector{at: 4, fn: func(mm *Machine) {
+		lm := p.Modules[0]
+		p.Unload(lm)
+		th := p.Threads[1]
+		prePC = th.PC
+		if !mm.InjectSignal(th, SigApp) {
+			t.Fatal("signal not delivered")
+		}
+	}}
+	m.World.SetInjector(inj)
+	if _, err := p.StartMain(0); err != nil {
+		t.Fatal(err)
+	}
+	m.World.Run(1_000_000, func() bool { return p.Exited })
+	if !inj.fired {
+		t.Fatal("injector never fired")
+	}
+	if len(rec.unloads) != 1 || rec.unloads[0] != p.Modules[0].Handle {
+		t.Fatalf("unloads = %v", rec.unloads)
+	}
+	if len(rec.signals) != 1 {
+		t.Fatalf("signals = %v", rec.signals)
+	}
+	s := rec.signals[0]
+	if s.sig != SigApp || s.tid != 1 {
+		t.Fatalf("signal = %+v", s)
+	}
+	if s.prePC != prePC {
+		t.Fatalf("recorded prePC %d, want pre-delivery PC %d", s.prePC, prePC)
+	}
+	// Firing order within the quantum: unload then signal.
+	var seq []string
+	for _, o := range rec.order {
+		if o == "unload" || o == "signal" {
+			seq = append(seq, o)
+		}
+	}
+	if len(seq) != 2 || seq[0] != "unload" || seq[1] != "signal" {
+		t.Fatalf("order = %v, want [unload signal]", seq)
+	}
+}
+
+// TestWorldQuantumCounter: the counter advances once per Step across
+// all machines and is untouched by recorder presence.
+func TestWorldQuantumCounter(t *testing.T) {
+	p, m := newProc(t, "count", spinCode())
+	if _, err := p.StartMain(0); err != nil {
+		t.Fatal(err)
+	}
+	before := m.World.Quantum()
+	if before != 0 {
+		t.Fatalf("fresh world quantum = %d", before)
+	}
+	m.Step()
+	m.Step()
+	if q := m.World.Quantum(); q != 2 {
+		t.Fatalf("quantum after 2 steps = %d", q)
+	}
+}

@@ -58,19 +58,25 @@ func (m *Machine) rpcCall(t *Thread) (stepResult, int) {
 	msg := &rpcMessage{from: t, payload: payload, ext: ext, deliverAt: deliverAt}
 	// Transport fault injection: the sender has already committed its
 	// SYNC record (it believes the call went out), so drops, delays,
-	// and duplications perturb only what the network delivers.
+	// and duplications perturb only what the network delivers. The
+	// recorder sees every consult (including the zero verdict) so its
+	// message ordinals align with a replaying injector's.
+	var f RPCFault
 	if inj := m.World.injector; inj != nil {
-		f := inj.AtRPC(t, r[isa.A1], false)
-		if f.Drop {
-			t.State = BlockedRPC
-			t.rpcReplyAt = uint32(r[isa.A4])
-			return stepBlocked, 0
-		}
-		msg.deliverAt += f.Delay
-		if f.Duplicate {
-			dup := *msg
-			ep.queue = append(ep.queue, &dup)
-		}
+		f = inj.AtRPC(t, r[isa.A1], false)
+	}
+	if rec := m.World.recorder; rec != nil {
+		rec.RecordRPCFault(t, r[isa.A1], false, f)
+	}
+	if f.Drop {
+		t.State = BlockedRPC
+		t.rpcReplyAt = uint32(r[isa.A4])
+		return stepBlocked, 0
+	}
+	msg.deliverAt += f.Delay
+	if f.Duplicate {
+		dup := *msg
+		ep.queue = append(ep.queue, &dup)
 	}
 	ep.queue = append(ep.queue, msg)
 	// Wake waiting receivers; they re-execute their recv.
@@ -107,6 +113,9 @@ func (m *Machine) rpcRecv(t *Thread) (stepResult, int) {
 			continue
 		}
 		ep.queue = append(ep.queue[:i], ep.queue[i+1:]...)
+		if rec := m.World.recorder; rec != nil {
+			rec.RecordRPCDeliver(t, r[isa.A1], msg.from, len(msg.payload))
+		}
 		n := uint64(len(msg.payload))
 		if n > r[isa.A3] {
 			n = r[isa.A3]
@@ -151,7 +160,14 @@ func (m *Machine) rpcReply(t *Thread) (stepResult, int) {
 	// Reply-side drop: the server believes it replied (SYNC written,
 	// status 0) but the caller never wakes — the half-open failure a
 	// hang snap has to diagnose.
-	if inj := m.World.injector; inj != nil && inj.AtRPC(t, r[isa.A1], true).Drop {
+	var f RPCFault
+	if inj := m.World.injector; inj != nil {
+		f = inj.AtRPC(t, r[isa.A1], true)
+	}
+	if rec := m.World.recorder; rec != nil {
+		rec.RecordRPCFault(t, r[isa.A1], true, f)
+	}
+	if f.Drop {
 		r[isa.RV] = 0
 		return stepOK, 0
 	}

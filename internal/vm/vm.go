@@ -302,6 +302,11 @@ type World struct {
 	// injector, when set, is consulted at scheduling quanta and RPC
 	// transport points (see inject.go); nil in normal operation.
 	injector Injector
+	// recorder, when set, observes the same nondeterminism sites the
+	// injector may perturb (see record.go); nil in normal operation.
+	recorder Recorder
+	// quantum counts scheduling quanta world-globally (see Quantum).
+	quantum uint64
 }
 
 type endpoint struct {
@@ -454,6 +459,9 @@ func (p *Process) Unload(lm *LoadedModule) {
 		return
 	}
 	lm.Unloaded = true
+	if w := p.Machine.World; w != nil && w.recorder != nil {
+		w.recorder.RecordUnload(p, lm)
+	}
 	if m := p.Machine.met; m != nil {
 		m.modUnl.Inc()
 	}

@@ -39,7 +39,11 @@ func generate(out string) error {
 	if err := os.MkdirAll(filepath.Join(out, "maps"), 0o755); err != nil {
 		return err
 	}
-	c, err := fault.New(fault.Config{Seed: seed})
+	// Record: the committed snaps carry their nondeterminism recording
+	// as an embedded section, so every corpus case (except the seeded
+	// known-bad one) replays standalone — `make replay-check` holds
+	// each to byte-identical re-execution.
+	c, err := fault.New(fault.Config{Seed: seed, Record: true})
 	if err != nil {
 		return err
 	}
@@ -66,6 +70,9 @@ func generate(out string) error {
 		}
 		if len(tr.FaultLines) == 0 {
 			return fmt.Errorf("case %s: no fault line resolved; nothing to regress against", sp.name)
+		}
+		if !tr.Replayed {
+			return fmt.Errorf("case %s: recording did not replay-verify (%s)", sp.name, tr.ReplayDivergence)
 		}
 		cc := fault.CorpusCase{
 			Name: sp.name, Kind: sp.kind, Scenario: sp.scen, Seed: seed,
